@@ -1,0 +1,246 @@
+(* Command-line driver for the simulated DBMS: run single experiments,
+   throttled-vs-unthrottled comparisons, and client sweeps. The full
+   paper-reproduction harness lives in bench/main.exe. *)
+
+open Cmdliner
+
+let setup_logs level =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level
+
+let clients_arg =
+  Arg.(value & opt int 30 & info [ "clients"; "c" ] ~doc:"Number of concurrent clients.")
+
+let throttle_arg =
+  Arg.(value & opt bool true & info [ "throttle" ] ~doc:"Enable compilation throttling.")
+
+let warmup_arg =
+  Arg.(value & opt float 600. & info [ "warmup" ] ~doc:"Warm-up seconds (excluded from results).")
+
+let measure_arg =
+  Arg.(value & opt float 1800. & info [ "measure" ] ~doc:"Measured window, seconds.")
+
+let slice_arg =
+  Arg.(value & opt float 60. & info [ "slice" ] ~doc:"Time-slice width for throughput, seconds.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"PREFIX"
+        ~doc:"Also write results as CSV files named PREFIX-*.csv.")
+
+let write_csv path header rows =
+  let oc = open_out path in
+  output_string oc (String.concat "," header);
+  output_char oc '\n';
+  List.iter
+    (fun row ->
+      output_string oc (String.concat "," row);
+      output_char oc '\n')
+    rows;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let csv_of_slices path slices =
+  write_csv path [ "slice_start_s"; "completions" ]
+    (Array.to_list
+       (Array.map
+          (fun (t, v) -> [ Printf.sprintf "%.0f" t; Printf.sprintf "%.0f" v ])
+          slices))
+
+let csv_of_memory path series =
+  (* One row per sample time, one column per clerk. *)
+  match series with
+  | [] -> ()
+  | (_, first) :: _ ->
+      let names = List.map fst series in
+      let n = Sim.Series.length first in
+      let rows =
+        List.init n (fun k ->
+            let t, _ = Sim.Series.nth first k in
+            Printf.sprintf "%.0f" t
+            :: List.map
+                 (fun (_, s) ->
+                   if Sim.Series.length s > k then
+                     Printf.sprintf "%.0f" (snd (Sim.Series.nth s k))
+                   else "")
+                 series)
+      in
+      write_csv path ("time_s" :: List.map (fun n -> n ^ "_bytes") names) rows
+
+let config ~throttle ~seed =
+  let base = if throttle then Server.Config.default () else Server.Config.unthrottled () in
+  { base with Server.Config.seed }
+
+let run_one ~clients ~throttle ~warmup ~measure ~slice ~seed =
+  Server.Experiment.run
+    ~config:(config ~throttle ~seed)
+    ~clients ~warmup ~measure ~slice ()
+
+(* Detailed single run that keeps the server around for resource stats. *)
+let run_verbose ~clients ~throttle ~warmup ~measure ~slice ~seed =
+  let cfg = config ~throttle ~seed in
+  let eng = Sim.Engine.create ~seed () in
+  let dbms = Server.Dbms.create eng cfg (Workload.Sales.catalog ()) in
+  Server.Dbms.start dbms;
+  let stats = Workload.Client.make_stats () in
+  let ids = ref 0 in
+  let stop = warmup +. measure in
+  let crng = Sim.Rng.split (Sim.Engine.rng eng) in
+  for i = 1 to clients do
+    Workload.Client.spawn eng crng ~name:(Printf.sprintf "c%d" i)
+      ~templates:(Workload.Sales.templates ())
+      ~submit:(fun q -> Server.Dbms.submit_catch dbms q)
+      ~config:Workload.Client.default_config ~stats ~ids ~until:stop
+  done;
+  Sim.Engine.run eng ~until:stop;
+  let m = Server.Dbms.metrics dbms in
+  let grants = Server.Dbms.grants dbms in
+  let disk = Server.Dbms.disk dbms in
+  Printf.printf "completions=%d errors=%d\n"
+    (Server.Metrics.total_completions m ~since:warmup ())
+    (Server.Metrics.total_errors m);
+  Format.printf "grant waits: %a timeouts=%d in_use=%s of %s@."
+    Sim.Stats.Online.pp (Execsim.Grant.wait_stats grants)
+    (Execsim.Grant.timeouts grants)
+    (Dbmem.Units.bytes_to_string (Execsim.Grant.in_use grants))
+    (Dbmem.Units.bytes_to_string (Execsim.Grant.total grants));
+  Printf.printf "disk: read %.1f GB, written %.1f GB, util %.2f\n"
+    (float_of_int (Bufpool.Disk.bytes_read disk) /. 1e9)
+    (float_of_int (Bufpool.Disk.bytes_written disk) /. 1e9)
+    ((float_of_int (Bufpool.Disk.bytes_read disk + Bufpool.Disk.bytes_written disk)
+      /. (320. *. 1024. *. 1024.)) /. stop);
+  Format.printf "disk queue: %a@." Sim.Stats.Online.pp (Bufpool.Disk.queue_wait disk);
+  Format.printf "pool: %a@." Bufpool.Pool.pp (Server.Dbms.pool dbms);
+  Format.printf "cache: %a@." Plancache.Cache.pp (Server.Dbms.plan_cache dbms);
+  Printf.printf "cpu util=%.2f queued=%d\n"
+    (Execsim.Cpu.utilization (Server.Dbms.cpu dbms))
+    (Execsim.Cpu.queued (Server.Dbms.cpu dbms));
+  Format.printf "%a@." Dbmem.Manager.pp (Server.Dbms.manager dbms);
+  Format.printf "%a@." Qcore.Broker.pp (Server.Dbms.broker dbms);
+  Format.printf "%a@." Qcore.Compile_gov.pp (Server.Dbms.governor dbms);
+  Format.printf "compile: %a@.exec: %a@."
+    Sim.Stats.Online.pp (Server.Metrics.compile_time m)
+    Sim.Stats.Online.pp (Server.Metrics.exec_time m);
+  ignore slice
+
+let verbose_cmd =
+  let action clients throttle warmup measure slice seed =
+    run_verbose ~clients ~throttle ~warmup ~measure ~slice ~seed
+  in
+  Cmd.v (Cmd.info "verbose" ~doc:"Single run with resource diagnostics.")
+    Term.(const action $ clients_arg $ throttle_arg $ warmup_arg $ measure_arg $ slice_arg $ seed_arg)
+
+let run_cmd =
+  let action clients throttle warmup measure slice seed csv =
+    let r = run_one ~clients ~throttle ~warmup ~measure ~slice ~seed in
+    Format.printf "%a@." Server.Experiment.pp_summary r;
+    List.iter
+      (fun (k, n) -> if n > 0 then Printf.printf "  error %s: %d\n" k n)
+      r.Server.Experiment.errors;
+    Printf.printf "  client: submitted %d attempts %d succeeded %d abandoned %d\n"
+      r.Server.Experiment.client_stats.Workload.Client.submitted
+      r.Server.Experiment.client_stats.Workload.Client.attempts
+      r.Server.Experiment.client_stats.Workload.Client.succeeded
+      r.Server.Experiment.client_stats.Workload.Client.abandoned;
+    Server.Report.table ~header:[ "slice start (s)"; "completions" ]
+      (Array.to_list
+         (Array.map
+            (fun (t, v) -> [ Printf.sprintf "%.0f" t; Printf.sprintf "%.0f" v ])
+            r.Server.Experiment.slices));
+    print_endline ("  " ^ Server.Report.sparkline (Array.map snd r.Server.Experiment.slices));
+    match csv with
+    | None -> ()
+    | Some prefix ->
+        csv_of_slices (prefix ^ "-slices.csv") r.Server.Experiment.slices;
+        csv_of_memory (prefix ^ "-memory.csv") r.Server.Experiment.memory_series
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run the SALES benchmark once.")
+    Term.(const action $ clients_arg $ throttle_arg $ warmup_arg $ measure_arg $ slice_arg $ seed_arg $ csv_arg)
+
+let compare_cmd =
+  let action clients warmup measure slice seed csv =
+    let on = run_one ~clients ~throttle:true ~warmup ~measure ~slice ~seed in
+    let off = run_one ~clients ~throttle:false ~warmup ~measure ~slice ~seed in
+    Server.Report.figure_series
+      ~title:(Printf.sprintf "Throughput, %d clients (completions per %.0fs slice)" clients slice)
+      ~throttled:on.Server.Experiment.slices
+      ~unthrottled:off.Server.Experiment.slices;
+    Server.Report.table ~header:Server.Report.result_header
+      [ Server.Report.result_row on; Server.Report.result_row off ];
+    match csv with
+    | None -> ()
+    | Some prefix ->
+        csv_of_slices (prefix ^ "-throttled.csv") on.Server.Experiment.slices;
+        csv_of_slices (prefix ^ "-unthrottled.csv") off.Server.Experiment.slices;
+        csv_of_memory (prefix ^ "-memory-throttled.csv") on.Server.Experiment.memory_series;
+        csv_of_memory (prefix ^ "-memory-unthrottled.csv") off.Server.Experiment.memory_series
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Throttled vs unthrottled at one client count (Figures 3-5).")
+    Term.(const action $ clients_arg $ warmup_arg $ measure_arg $ slice_arg $ seed_arg $ csv_arg)
+
+let sweep_cmd =
+  let list_arg =
+    Arg.(
+      value
+      & opt (list int) [ 10; 20; 30; 35; 40 ]
+      & info [ "list" ] ~doc:"Client counts to sweep.")
+  in
+  let action counts throttle warmup measure slice seed =
+    let rows =
+      List.map
+        (fun clients ->
+          Server.Report.result_row
+            (run_one ~clients ~throttle ~warmup ~measure ~slice ~seed))
+        counts
+    in
+    Server.Report.table ~header:Server.Report.result_header rows
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Sweep client counts (peak-throughput claim).")
+    Term.(const action $ list_arg $ throttle_arg $ warmup_arg $ measure_arg $ slice_arg $ seed_arg)
+
+let sql_cmd =
+  let count_arg =
+    Arg.(value & opt int 2 & info [ "count"; "n" ] ~doc:"Number of instances to print.")
+  in
+  let workload_arg =
+    Arg.(
+      value
+      & opt (enum [ ("sales", `Sales); ("snowflake", `Snowflake); ("tpch", `Tpch) ]) `Sales
+      & info [ "workload" ] ~doc:"Workload: sales, snowflake or tpch.")
+  in
+  let action count workload seed =
+    let templates =
+      match workload with
+      | `Sales -> Workload.Sales.templates ()
+      | `Snowflake -> Workload.Snowflake.templates ()
+      | `Tpch -> Workload.Tpch.templates ()
+    in
+    let rng = Sim.Rng.create seed in
+    for i = 1 to count do
+      let t = Workload.Template.pick rng templates in
+      print_endline (Optimizer.Query.to_sql (Workload.Template.instance rng t ~id:i));
+      print_newline ()
+    done
+  in
+  Cmd.v
+    (Cmd.info "sql" ~doc:"Print uniquified query instances as SQL text.")
+    Term.(const action $ count_arg $ workload_arg $ seed_arg)
+
+let info_cmd =
+  let action () =
+    let cfg = Server.Config.default () in
+    Format.printf "%a@.@." Server.Config.pp cfg;
+    Format.printf "%a@." Optimizer.Catalog.pp (Workload.Sales.catalog ())
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Print the server configuration and SALES catalog.")
+    Term.(const action $ const ())
+
+let () =
+  setup_logs (Some Logs.Warning);
+  let doc = "Simulated DBMS reproducing CIDR'07 query-compilation throttling" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "dbsim" ~doc) [ run_cmd; compare_cmd; sweep_cmd; info_cmd; verbose_cmd; sql_cmd ]))

@@ -1,0 +1,1 @@
+examples/broker_pressure.ml: Dbmem List Printf Qcore Server Sim

@@ -1,0 +1,1 @@
+examples/broker_pressure.mli:

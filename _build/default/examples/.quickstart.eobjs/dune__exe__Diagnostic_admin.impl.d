@@ -1,0 +1,1 @@
+examples/diagnostic_admin.ml: Array Format List Optimizer Printf Qcore Server Sim Workload

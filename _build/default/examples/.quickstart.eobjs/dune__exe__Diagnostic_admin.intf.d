@@ -1,0 +1,1 @@
+examples/diagnostic_admin.mli:

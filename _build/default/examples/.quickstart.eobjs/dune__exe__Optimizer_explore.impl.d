@@ -1,0 +1,1 @@
+examples/optimizer_explore.ml: Bridge Card Cascades Catalog Cost Dbmem Dp Env Float Format Greedy List Optimizer Plan Printf Query Relation Rowexec Sim

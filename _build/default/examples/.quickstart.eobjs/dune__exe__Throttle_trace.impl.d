@@ -1,0 +1,1 @@
+examples/throttle_trace.ml: Dbmem Format Printf Qcore Sim

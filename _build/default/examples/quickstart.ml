@@ -1,0 +1,31 @@
+(* Quickstart: build the simulated DBMS, run the SALES benchmark for ten
+   minutes of virtual time with ten clients, and print what happened.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  (* A server with the paper's configuration: 8 CPUs, 4 GiB of memory,
+     compilation throttling enabled. *)
+  let result =
+    Server.Experiment.run ~clients:10 ~warmup:120. ~measure:600. ~slice:60. ()
+  in
+  Format.printf "%a@." Server.Experiment.pp_summary result;
+  print_newline ();
+  Server.Report.table ~header:[ "minute"; "completions" ]
+    (Array.to_list
+       (Array.mapi
+          (fun i (_, v) -> [ string_of_int (i + 1); Printf.sprintf "%.0f" v ])
+          result.Server.Experiment.slices));
+  print_newline ();
+  (* The same run without throttling, for contrast. *)
+  let baseline =
+    Server.Experiment.run
+      ~config:(Server.Config.unthrottled ())
+      ~clients:10 ~warmup:120. ~measure:600. ~slice:60. ()
+  in
+  Printf.printf "throttled:   %.1f completions/min, %d errors\n"
+    result.Server.Experiment.mean_per_slice result.Server.Experiment.total_errors;
+  Printf.printf "unthrottled: %.1f completions/min, %d errors\n"
+    baseline.Server.Experiment.mean_per_slice baseline.Server.Experiment.total_errors;
+  Printf.printf "uplift: %+.0f%%\n"
+    (100. *. Server.Experiment.uplift result baseline)

@@ -1,0 +1,79 @@
+(* The gateway ladder in action, event by event: five compilations with
+   different appetites race through a tight ladder; every monitor
+   acquisition, block and release is logged with its timestamp.
+
+     dune exec examples/throttle_trace.exe *)
+
+let mib = Dbmem.Units.mib
+
+let () =
+  let eng = Sim.Engine.create ~seed:1 () in
+  let manager = Dbmem.Manager.create ~total:(Dbmem.Units.gib 2) () in
+  let clerk = Dbmem.Manager.create_clerk manager "compile" in
+  let ladder =
+    {
+      Qcore.Throttle_config.dynamic = false;
+      levels =
+        [
+          { Qcore.Throttle_config.lname = "small"; base_threshold = mib 8;
+            slots = Qcore.Throttle_config.Total 3; timeout = 40.;
+            fraction = 1.0; min_threshold = mib 8; max_threshold = mib 8 };
+          { Qcore.Throttle_config.lname = "medium"; base_threshold = mib 64;
+            slots = Qcore.Throttle_config.Total 2; timeout = 80.;
+            fraction = 0.35; min_threshold = mib 64; max_threshold = mib 64 };
+          { Qcore.Throttle_config.lname = "big"; base_threshold = mib 256;
+            slots = Qcore.Throttle_config.Total 1; timeout = 160.;
+            fraction = 0.45; min_threshold = mib 256; max_threshold = mib 256 };
+        ];
+    }
+  in
+  let gov =
+    Qcore.Compile_gov.create eng manager ~clerk ~cpus:1 ~config:ladder ~enabled:true ()
+  in
+  let log fmt =
+    Printf.ksprintf
+      (fun s -> Printf.printf "[t=%6.1fs] %s\n" (Sim.Engine.now eng) s)
+      fmt
+  in
+  (* Each "compilation" allocates in 8 MiB steps with a fixed pace, up to
+     its peak, holds briefly, then releases everything. *)
+  let compilation name ~delay ~peak_mib ~pace =
+    Sim.Engine.spawn eng ~name ~delay (fun () ->
+        log "%s starts (wants %d MiB)" name peak_mib;
+        let session = Qcore.Compile_gov.begin_compile gov in
+        let aborted = ref false in
+        let steps = peak_mib / 8 in
+        (try
+           for step = 1 to steps do
+             let before = Qcore.Compile_gov.level session in
+             let t0 = Sim.Engine.now eng in
+             (match Qcore.Compile_gov.alloc session (mib 8) with
+             | Ok () -> ()
+             | Error e ->
+                 log "%s ABORTED: %s" name
+                   (Format.asprintf "%a" Qcore.Compile_gov.pp_error e);
+                 aborted := true;
+                 raise Exit);
+             let after = Qcore.Compile_gov.level session in
+             let waited = Sim.Engine.now eng -. t0 in
+             if after > before then
+               log "%s acquired the %s monitor%s (at %d MiB)" name
+                 (match after with 1 -> "small" | 2 -> "medium" | _ -> "big")
+                 (if waited > 0.01 then Printf.sprintf " after blocking %.1fs" waited
+                  else "")
+                 (step * 8);
+             Sim.Engine.sleep pace
+           done;
+           Sim.Engine.sleep 4.0
+         with Exit -> ());
+        Qcore.Compile_gov.end_compile session;
+        if not !aborted then
+          log "%s finished; released monitors and %d MiB" name peak_mib)
+  in
+  compilation "Q1" ~delay:0.0 ~peak_mib:320 ~pace:0.5;
+  compilation "Q2" ~delay:1.0 ~peak_mib:320 ~pace:0.7;
+  compilation "Q3" ~delay:2.0 ~peak_mib:128 ~pace:0.6;
+  compilation "Q4" ~delay:3.0 ~peak_mib:48 ~pace:0.5;
+  compilation "Q5" ~delay:4.0 ~peak_mib:16 ~pace:0.4;
+  Sim.Engine.run eng ~until:500.;
+  Format.printf "@.final state:@.%a@." Qcore.Compile_gov.pp gov

@@ -1,0 +1,1 @@
+lib/bufpool/disk.mli: Sim

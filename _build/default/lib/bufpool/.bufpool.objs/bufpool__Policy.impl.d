@@ -1,0 +1,1 @@
+lib/bufpool/policy.ml: Hashtbl Queue Sim

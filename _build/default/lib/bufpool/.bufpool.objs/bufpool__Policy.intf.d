@@ -1,0 +1,1 @@
+lib/bufpool/policy.mli:

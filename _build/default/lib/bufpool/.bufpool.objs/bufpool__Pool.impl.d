@@ -1,0 +1,1 @@
+lib/bufpool/pool.ml: Dbmem Disk Format Hashtbl Policy Sim

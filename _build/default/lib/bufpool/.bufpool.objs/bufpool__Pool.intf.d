@@ -1,0 +1,1 @@
+lib/bufpool/pool.mli: Dbmem Disk Format Policy Sim

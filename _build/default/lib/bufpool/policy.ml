@@ -1,0 +1,169 @@
+type page = int * int
+type kind = Lru | Clock | Lru2
+
+(* --- LRU: hashtable of current stamps + lazily-cleaned FIFO of (page,
+   stamp) entries; an entry is live iff its stamp is still current. --- *)
+module Lru_impl = struct
+  type t = {
+    stamps : (page, int) Hashtbl.t;
+    queue : (page * int) Queue.t;
+    mutable clock : int;
+  }
+
+  let create () = { stamps = Hashtbl.create 256; queue = Queue.create (); clock = 0 }
+
+  let insert t p =
+    t.clock <- t.clock + 1;
+    Hashtbl.replace t.stamps p t.clock;
+    Queue.push (p, t.clock) t.queue
+
+  let touch t p =
+    if Hashtbl.mem t.stamps p then begin
+      t.clock <- t.clock + 1;
+      Hashtbl.replace t.stamps p t.clock;
+      Queue.push (p, t.clock) t.queue
+    end
+
+  let mem t p = Hashtbl.mem t.stamps p
+
+  let rec evict t =
+    match Queue.take_opt t.queue with
+    | None -> None
+    | Some (p, stamp) -> (
+        match Hashtbl.find_opt t.stamps p with
+        | Some current when current = stamp ->
+            Hashtbl.remove t.stamps p;
+            Some p
+        | _ -> evict t)
+
+  let size t = Hashtbl.length t.stamps
+end
+
+(* --- CLOCK (second chance): FIFO of nodes with reference bits. --- *)
+module Clock_impl = struct
+  type node = { page : page; mutable refbit : bool; mutable dead : bool }
+
+  type t = { nodes : (page, node) Hashtbl.t; ring : node Queue.t }
+
+  let create () = { nodes = Hashtbl.create 256; ring = Queue.create () }
+
+  let insert t p =
+    let n = { page = p; refbit = false; dead = false } in
+    Hashtbl.replace t.nodes p n;
+    Queue.push n t.ring
+
+  let touch t p =
+    match Hashtbl.find_opt t.nodes p with
+    | Some n -> n.refbit <- true
+    | None -> ()
+
+  let mem t p = Hashtbl.mem t.nodes p
+
+  let rec evict t =
+    match Queue.take_opt t.ring with
+    | None -> None
+    | Some n when n.dead -> evict t
+    | Some n when n.refbit ->
+        n.refbit <- false;
+        Queue.push n t.ring;
+        evict t
+    | Some n ->
+        n.dead <- true;
+        Hashtbl.remove t.nodes n.page;
+        Some n.page
+
+  let size t = Hashtbl.length t.nodes
+end
+
+(* --- LRU-2: evict the page with the oldest penultimate access (pages
+   touched only once, t2 = -1, go first in t1 order). Lazily-synced heap
+   keyed by (t2, t1). --- *)
+module Lru2_impl = struct
+  type times = { mutable t1 : int; mutable t2 : int }
+
+  type t = {
+    times : (page, times) Hashtbl.t;
+    heap : (int * int * page) Sim.Heap.t;
+    mutable clock : int;
+  }
+
+  let create () =
+    {
+      times = Hashtbl.create 256;
+      heap = Sim.Heap.create ~cmp:compare ();
+      clock = 0;
+    }
+
+  let push t p (ts : times) = Sim.Heap.add t.heap (ts.t2, ts.t1, p)
+
+  let insert t p =
+    t.clock <- t.clock + 1;
+    let ts = { t1 = t.clock; t2 = -1 } in
+    Hashtbl.replace t.times p ts;
+    push t p ts
+
+  let touch t p =
+    match Hashtbl.find_opt t.times p with
+    | None -> ()
+    | Some ts ->
+        t.clock <- t.clock + 1;
+        ts.t2 <- ts.t1;
+        ts.t1 <- t.clock;
+        push t p ts
+
+  let mem t p = Hashtbl.mem t.times p
+
+  let rec evict t =
+    match Sim.Heap.pop t.heap with
+    | None -> None
+    | Some (t2, t1, p) -> (
+        match Hashtbl.find_opt t.times p with
+        | Some ts when ts.t1 = t1 && ts.t2 = t2 ->
+            Hashtbl.remove t.times p;
+            Some p
+        | _ -> evict t)
+
+  let size t = Hashtbl.length t.times
+end
+
+type t =
+  | T_lru of Lru_impl.t
+  | T_clock of Clock_impl.t
+  | T_lru2 of Lru2_impl.t
+
+let create = function
+  | Lru -> T_lru (Lru_impl.create ())
+  | Clock -> T_clock (Clock_impl.create ())
+  | Lru2 -> T_lru2 (Lru2_impl.create ())
+
+let insert t p =
+  match t with
+  | T_lru x -> Lru_impl.insert x p
+  | T_clock x -> Clock_impl.insert x p
+  | T_lru2 x -> Lru2_impl.insert x p
+
+let touch t p =
+  match t with
+  | T_lru x -> Lru_impl.touch x p
+  | T_clock x -> Clock_impl.touch x p
+  | T_lru2 x -> Lru2_impl.touch x p
+
+let mem t p =
+  match t with
+  | T_lru x -> Lru_impl.mem x p
+  | T_clock x -> Clock_impl.mem x p
+  | T_lru2 x -> Lru2_impl.mem x p
+
+let evict t =
+  match t with
+  | T_lru x -> Lru_impl.evict x
+  | T_clock x -> Clock_impl.evict x
+  | T_lru2 x -> Lru2_impl.evict x
+
+let size t =
+  match t with
+  | T_lru x -> Lru_impl.size x
+  | T_clock x -> Clock_impl.size x
+  | T_lru2 x -> Lru2_impl.size x
+
+let kind = function T_lru _ -> Lru | T_clock _ -> Clock | T_lru2 _ -> Lru2

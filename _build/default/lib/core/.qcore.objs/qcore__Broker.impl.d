@@ -1,0 +1,1 @@
+lib/core/broker.ml: Dbmem Format List Sim Trend

@@ -1,0 +1,1 @@
+lib/core/broker.mli: Dbmem Format Sim

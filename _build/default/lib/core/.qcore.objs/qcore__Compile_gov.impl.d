@@ -1,0 +1,1 @@
+lib/core/compile_gov.ml: Array Broker Dbmem Format Monitor Throttle_config

@@ -1,0 +1,1 @@
+lib/core/compile_gov.mli: Broker Dbmem Format Monitor Sim Throttle_config

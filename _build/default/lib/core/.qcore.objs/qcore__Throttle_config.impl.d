@@ -1,0 +1,1 @@
+lib/core/throttle_config.ml: Dbmem Format List Printf

@@ -1,0 +1,1 @@
+lib/core/throttle_config.mli: Format

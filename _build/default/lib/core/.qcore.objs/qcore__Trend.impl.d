@@ -1,0 +1,1 @@
+lib/core/trend.ml: Array Float

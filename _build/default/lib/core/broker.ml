@@ -1,0 +1,199 @@
+type verdict = Can_grow | Hold_rate | Must_shrink
+
+type notification = {
+  verdict : verdict;
+  target : int;
+  predicted : int;
+  pressure : bool;
+}
+
+type config = {
+  interval : float;
+  horizon : float;
+  window : int;
+  reserved_fraction : float;
+  shrink_slack : float;
+}
+
+let default_config =
+  {
+    interval = 1.0;
+    horizon = 5.0;
+    window = 10;
+    reserved_fraction = 0.05;
+    shrink_slack = 0.02;
+  }
+
+type component = {
+  name : string;
+  clerk : Dbmem.Manager.clerk;
+  weight : float;
+  min_bytes : int;
+  demand : (unit -> int) option;
+  notify : (notification -> unit) option;
+  trend : Trend.t;
+  mutable ctarget : int;
+  mutable last : notification option;
+}
+
+type t = {
+  eng : Sim.Engine.t;
+  manager : Dbmem.Manager.t;
+  config : config;
+  mutable comps_rev : component list;
+  mutable pressure : bool;
+  mutable ticks : int;
+  mutable timer : Sim.Engine.handle option;
+}
+
+let create eng manager config =
+  if config.interval <= 0. then invalid_arg "Broker.create: interval";
+  if config.reserved_fraction < 0. || config.reserved_fraction >= 1. then
+    invalid_arg "Broker.create: reserved_fraction";
+  {
+    eng;
+    manager;
+    config;
+    comps_rev = [];
+    pressure = false;
+    ticks = 0;
+    timer = None;
+  }
+
+let brokered_bytes t =
+  int_of_float
+    (float_of_int (Dbmem.Manager.total t.manager)
+    *. (1. -. t.config.reserved_fraction))
+
+let components t = List.rev t.comps_rev
+
+let register t ~name ~clerk ?(weight = 1.) ?(min_bytes = 0) ?demand ?notify () =
+  if weight <= 0. then invalid_arg "Broker.register: weight must be > 0";
+  let c =
+    {
+      name;
+      clerk;
+      weight;
+      min_bytes;
+      demand;
+      notify;
+      trend = Trend.create ~window:t.config.window ();
+      ctarget = 0;
+      last = None;
+    }
+  in
+  t.comps_rev <- c :: t.comps_rev;
+  (* Before the first tick, hand out even shares so targets are sane. *)
+  let n = List.length t.comps_rev in
+  List.iter
+    (fun c -> c.ctarget <- brokered_bytes t / n)
+    t.comps_rev;
+  c
+
+(* One broker cycle: sample, predict, split the budget, notify. *)
+let tick t =
+  let comps = components t in
+  t.ticks <- t.ticks + 1;
+  if comps <> [] then begin
+    let now = Sim.Engine.now t.eng in
+    let budget = brokered_bytes t in
+    (* 1. Sample and predict. *)
+    let predictions =
+      List.map
+        (fun c ->
+          let used = Dbmem.Manager.clerk_used c.clerk in
+          let demand =
+            match c.demand with Some f -> max used (f ()) | None -> used
+          in
+          Trend.observe c.trend ~time:now (float_of_int demand);
+          let predicted =
+            match Trend.predict c.trend ~horizon:t.config.horizon with
+            | None -> demand
+            | Some p -> max demand (int_of_float p)
+          in
+          (c, used, predicted))
+        comps
+    in
+    let total_predicted =
+      List.fold_left (fun acc (_, _, p) -> acc + p) 0 predictions
+    in
+    let pressure = total_predicted > budget in
+    t.pressure <- pressure;
+    (* 2. Compute targets. *)
+    let targets =
+      if not pressure then begin
+        (* No action needed: targets are "your prediction plus your share of
+           the slack" so components know how much headroom exists. *)
+        let slack = budget - total_predicted in
+        let weight_sum = List.fold_left (fun a (c, _, _) -> a +. c.weight) 0. predictions in
+        List.map
+          (fun (c, used, predicted) ->
+            let share = float_of_int slack *. (c.weight /. weight_sum) in
+            (c, used, predicted, max c.min_bytes (predicted + int_of_float share)))
+          predictions
+      end
+      else begin
+        (* Pressure: distribute the budget proportionally to weighted
+           predicted demand, with per-component floors. *)
+        let demand_sum =
+          List.fold_left
+            (fun a (c, _, p) -> a +. (c.weight *. float_of_int (max 1 p)))
+            0. predictions
+        in
+        List.map
+          (fun (c, used, predicted) ->
+            let share =
+              float_of_int budget
+              *. (c.weight *. float_of_int (max 1 predicted))
+              /. demand_sum
+            in
+            (c, used, predicted, max c.min_bytes (int_of_float share)))
+          predictions
+      end
+    in
+    (* 3. Decide verdicts and notify. *)
+    List.iter
+      (fun (c, used, predicted, target) ->
+        c.ctarget <- target;
+        let verdict =
+          if float_of_int used > float_of_int target *. (1. +. t.config.shrink_slack)
+          then Must_shrink
+          else if predicted > target then Hold_rate
+          else Can_grow
+        in
+        let n = { verdict; target; predicted; pressure } in
+        c.last <- Some n;
+        match c.notify with None -> () | Some f -> f n)
+      targets
+  end
+
+let start t =
+  match t.timer with
+  | Some _ -> ()
+  | None ->
+      t.timer <-
+        Some (Sim.Engine.every t.eng ~interval:t.config.interval (fun () -> tick t))
+
+let stop t =
+  match t.timer with
+  | None -> ()
+  | Some h ->
+      Sim.Engine.cancel h;
+      t.timer <- None
+
+let under_pressure t = t.pressure
+let ticks t = t.ticks
+let component_name c = c.name
+let last_notification c = c.last
+let target c = c.ctarget
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>broker ticks=%d pressure=%b budget=%a@," t.ticks
+    t.pressure Dbmem.Units.pp_bytes (brokered_bytes t);
+  List.iter
+    (fun c ->
+      let used = Dbmem.Manager.clerk_used c.clerk in
+      Format.fprintf ppf "  %-12s used=%a target=%a@," c.name
+        Dbmem.Units.pp_bytes used Dbmem.Units.pp_bytes c.ctarget)
+    (components t);
+  Format.fprintf ppf "@]"

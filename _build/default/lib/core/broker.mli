@@ -1,0 +1,90 @@
+(** The Memory Broker (paper §3).
+
+    The broker periodically samples the memory usage of every registered
+    subcomponent, fits a trend, predicts near-future usage, and — when the
+    predicted aggregate exceeds the brokered budget — computes a per-
+    component {e target}. Each component is then notified whether it may
+    keep growing, should hold its allocation rate, or must release memory
+    down to its target. When the system is not under pressure the broker
+    takes no action ("the system behaves as if the Memory Broker was not
+    there"). *)
+
+type t
+type component
+
+type verdict =
+  | Can_grow  (** may continue to consume memory *)
+  | Hold_rate  (** may allocate at the current rate, no faster *)
+  | Must_shrink  (** must release memory down to [target] *)
+
+type notification = {
+  verdict : verdict;
+  target : int;  (** bytes this component should converge to *)
+  predicted : int;  (** broker's usage prediction at the horizon *)
+  pressure : bool;  (** whether the system as a whole is under pressure *)
+}
+
+type config = {
+  interval : float;  (** seconds between broker ticks *)
+  horizon : float;  (** prediction horizon, seconds *)
+  window : int;  (** trend window, in samples *)
+  reserved_fraction : float;
+      (** fraction of physical memory kept out of brokerage (fixed
+          structures, thread stacks, ...) *)
+  shrink_slack : float;
+      (** tolerated overshoot before demanding a shrink, e.g. [0.02] *)
+}
+
+val default_config : config
+
+(** [create eng manager config] — nothing runs until {!start}. *)
+val create : Sim.Engine.t -> Dbmem.Manager.t -> config -> t
+
+(** [register t ~name ~clerk ?weight ?min_bytes ?demand ?notify ()] adds a
+    subcomponent. [weight] scales its share under pressure (default [1.]);
+    [min_bytes] is a floor on its target; [demand], when given, is sampled
+    each tick instead of the clerk's usage as the component's memory demand
+    — caches use it to report unmet demand (e.g. resident bytes plus recent
+    miss inflow), without which a squeezed cache would trend flat and never
+    win its memory back; [notify] is invoked on every tick with the
+    component's current notification. *)
+val register :
+  t ->
+  name:string ->
+  clerk:Dbmem.Manager.clerk ->
+  ?weight:float ->
+  ?min_bytes:int ->
+  ?demand:(unit -> int) ->
+  ?notify:(notification -> unit) ->
+  unit ->
+  component
+
+(** Begin periodic ticking on the engine. *)
+val start : t -> unit
+
+val stop : t -> unit
+
+(** Run one broker cycle immediately (also what the periodic task does).
+    Exposed for unit tests and for components that want a fresh view. *)
+val tick : t -> unit
+
+(** {1 Introspection} *)
+
+(** Budget the broker distributes: [total * (1 - reserved_fraction)]. *)
+val brokered_bytes : t -> int
+
+(** [true] when the last tick found predicted demand above the budget. *)
+val under_pressure : t -> bool
+
+val ticks : t -> int
+val component_name : component -> string
+
+(** Latest notification computed for this component ([None] before the
+    first tick). *)
+val last_notification : component -> notification option
+
+(** Current target; before any tick this is the component's even share. *)
+val target : component -> int
+
+val components : t -> component list
+val pp : Format.formatter -> t -> unit

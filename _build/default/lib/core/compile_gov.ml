@@ -1,0 +1,172 @@
+type error = Gateway_timeout of string | Out_of_memory
+
+let pp_error ppf = function
+  | Gateway_timeout m -> Format.fprintf ppf "gateway timeout at %s monitor" m
+  | Out_of_memory -> Format.fprintf ppf "out of memory"
+
+type t = {
+  gclerk : Dbmem.Manager.clerk;
+  config : Throttle_config.t;
+  levels : Throttle_config.level array;
+  gmonitors : Monitor.t array;
+  counts : int array; (* counts.(i): sessions holding exactly i monitors *)
+  mutable target : int; (* latest broker target for compile memory, 0 = unknown *)
+  mutable stop_early : bool;
+  mutable active : int;
+  genabled : bool;
+}
+
+type session = {
+  gov : t;
+  mutable susage : int;
+  mutable speak : int;
+  mutable held : int;
+  mutable finished : bool;
+}
+
+let create eng _manager ~clerk ~cpus ~config ~enabled () =
+  Throttle_config.validate config ~cpus;
+  let levels = Array.of_list config.Throttle_config.levels in
+  let gmonitors =
+    Array.map
+      (fun (l : Throttle_config.level) ->
+        Monitor.create eng ~name:l.lname
+          ~slots:(Throttle_config.slot_count l.slots ~cpus)
+          ~timeout:l.timeout)
+      levels
+  in
+  {
+    gclerk = clerk;
+    config;
+    levels;
+    gmonitors;
+    counts = Array.make (Array.length levels + 1) 0;
+    target = 0;
+    stop_early = false;
+    active = 0;
+    genabled = enabled;
+  }
+
+let enabled t = t.genabled
+
+(* Entry threshold for monitor [i]. The first monitor's threshold is always
+   static (it exists to let small diagnostic queries through unthrottled);
+   later ones follow the paper's [target * F / S] rule when dynamic
+   thresholds are on and a broker target is known. [S] is the population of
+   the category directly below the monitor. Monotonicity down the ladder is
+   enforced so extreme populations can never invert it. *)
+let threshold t i =
+  let value_of j =
+    let l = t.levels.(j) in
+    if j = 0 || (not t.config.Throttle_config.dynamic) || t.target <= 0 then
+      l.Throttle_config.base_threshold
+    else
+      Throttle_config.dynamic_threshold l ~target:t.target
+        ~population:t.counts.(j)
+  in
+  let thr = ref (value_of 0) in
+  for j = 1 to i do
+    thr := max (value_of j) (2 * !thr)
+  done;
+  !thr
+
+let begin_compile t =
+  t.active <- t.active + 1;
+  t.counts.(0) <- t.counts.(0) + 1;
+  { gov = t; susage = 0; speak = 0; held = 0; finished = false }
+
+let promote s =
+  let t = s.gov in
+  t.counts.(s.held) <- t.counts.(s.held) - 1;
+  s.held <- s.held + 1;
+  t.counts.(s.held) <- t.counts.(s.held) + 1
+
+(* Acquire every monitor whose threshold [new_usage] crosses, in order.
+   Waiters are served by progress: among compilations blocked at the same
+   monitor, the one that has already allocated the most memory goes first
+   ("gives preference to compilations that have made the most progress",
+   §4.1), with FIFO among equals. *)
+let rec pass_gates s new_usage =
+  let t = s.gov in
+  if s.held >= Array.length t.gmonitors then Ok ()
+  else if new_usage <= threshold t s.held then Ok ()
+  else begin
+    let priority = -(new_usage / (1 lsl 20)) in
+    match Monitor.acquire t.gmonitors.(s.held) ~priority () with
+    | Error `Timeout -> Error (Gateway_timeout (Monitor.name t.gmonitors.(s.held)))
+    | Ok () ->
+        promote s;
+        pass_gates s new_usage
+  end
+
+let alloc s n =
+  if s.finished then invalid_arg "Compile_gov.alloc: session finished";
+  if n < 0 then invalid_arg "Compile_gov.alloc: negative";
+  let t = s.gov in
+  let new_usage = s.susage + n in
+  let gate_result = if t.genabled then pass_gates s new_usage else Ok () in
+  match gate_result with
+  | Error _ as e -> e
+  | Ok () -> (
+      match Dbmem.Manager.alloc t.gclerk n with
+      | Error `Out_of_memory -> Error Out_of_memory
+      | Ok () ->
+          s.susage <- new_usage;
+          if new_usage > s.speak then s.speak <- new_usage;
+          Ok ())
+
+let free s n =
+  if s.finished then invalid_arg "Compile_gov.free: session finished";
+  if n < 0 || n > s.susage then invalid_arg "Compile_gov.free: bad amount";
+  s.susage <- s.susage - n;
+  Dbmem.Manager.free s.gov.gclerk n
+
+let end_compile s =
+  if not s.finished then begin
+    let t = s.gov in
+    s.finished <- true;
+    (* Release in reverse acquisition order. *)
+    for i = s.held - 1 downto 0 do
+      Monitor.release t.gmonitors.(i)
+    done;
+    t.counts.(s.held) <- t.counts.(s.held) - 1;
+    s.held <- 0;
+    Dbmem.Manager.free t.gclerk s.susage;
+    s.susage <- 0;
+    t.active <- t.active - 1
+  end
+
+let usage s = s.susage
+let peak s = s.speak
+let level s = s.held
+
+let on_notification t (n : Broker.notification) =
+  t.target <- n.Broker.target;
+  (* Best-plan-so-far is for *predicted exhaustion*, not routine pressure:
+     require the forecast to overshoot the target substantially, else every
+     compilation on a busy system would degrade to its greedy plan. *)
+  t.stop_early <- (match n.Broker.verdict with
+    | Broker.Must_shrink -> n.Broker.predicted > 2 * max 1 n.Broker.target
+    | Broker.Hold_rate | Broker.Can_grow -> false)
+
+let broker_target t = t.target
+let should_stop_early t = t.genabled && t.stop_early
+let population t i = t.counts.(i)
+let active_sessions t = t.active
+let monitors t = t.gmonitors
+let clerk t = t.gclerk
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>compile governor (enabled=%b, target=%a, stop_early=%b)@,"
+    t.genabled Dbmem.Units.pp_bytes t.target t.stop_early;
+  Array.iteri
+    (fun i m ->
+      Format.fprintf ppf "  %-8s thr=%-12s slots=%d in_use=%d queued=%d timeouts=%d@,"
+        (Monitor.name m)
+        (Dbmem.Units.bytes_to_string (threshold t i))
+        (Monitor.slots m) (Monitor.in_use m) (Monitor.queued m)
+        (Monitor.timeouts m))
+    t.gmonitors;
+  Format.fprintf ppf "  populations:";
+  Array.iteri (fun i c -> Format.fprintf ppf " L%d=%d" i c) t.counts;
+  Format.fprintf ppf "@,@]"

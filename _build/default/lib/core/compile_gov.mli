@@ -1,0 +1,97 @@
+(** Query-compilation throttling governor (paper §4).
+
+    Every compilation runs inside a {!session}. The optimizer reports its
+    memory demand through {!alloc}; the governor checks the demand against
+    the gateway ladder and makes the compilation {e block} at a monitor when
+    it crosses that monitor's threshold while no slot is free. Blocking is
+    tied to memory allocated, not to fixed points in the compilation
+    process, which is what makes the mechanism robust across schema designs
+    and workloads. Monitors are released in reverse order when the
+    compilation ends, and all compile memory is freed at once (optimizer
+    memory is arena-managed).
+
+    The governor also implements the paper's two extensions:
+    - {e dynamic thresholds}: when a {!Broker.notification} for the compile
+      component arrives (see {!on_notification}), entry thresholds of the
+      larger gateways are recomputed as [target * F / S];
+    - {e best-plan-so-far}: under severe pressure {!should_stop_early}
+      becomes [true] and a cooperating optimizer finishes with the best
+      complete plan already found instead of running out of memory. *)
+
+type t
+
+type error =
+  | Gateway_timeout of string
+      (** blocked too long at the named monitor; the query's transaction is
+          aborted with a timeout error *)
+  | Out_of_memory  (** physical allocation failed even after donor shrink *)
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [create eng manager ~clerk ~cpus ~config ~enabled ()]. With
+    [enabled = false] the governor only does clerk accounting — the
+    unthrottled baseline of Figures 3-5. *)
+val create :
+  Sim.Engine.t ->
+  Dbmem.Manager.t ->
+  clerk:Dbmem.Manager.clerk ->
+  cpus:int ->
+  config:Throttle_config.t ->
+  enabled:bool ->
+  unit ->
+  t
+
+(** {1 Sessions} *)
+
+type session
+
+(** [begin_compile t ()] registers a new compilation (initially below the
+    first threshold, hence unthrottled). *)
+val begin_compile : t -> session
+
+(** [alloc s n] reports [n] more bytes of compile memory demand. May block
+    the calling process at one or more monitors. On [Error] the compilation
+    must be abandoned: call {!end_compile} to release everything. *)
+val alloc : session -> int -> (unit, error) result
+
+(** [free s n] returns [n] bytes early (does not release monitors; real
+    optimizers release their arenas only at the end of compilation). *)
+val free : session -> int -> unit
+
+(** [end_compile s] releases held monitors in reverse order and frees all
+    remaining session memory. Idempotent. *)
+val end_compile : session -> unit
+
+val usage : session -> int
+val peak : session -> int
+
+(** Number of monitors currently held (0 = below the first threshold). *)
+val level : session -> int
+
+(** {1 Broker integration} *)
+
+(** Feed the compile component's broker notification to the governor (wire
+    this as the [notify] callback of {!Broker.register}). *)
+val on_notification : t -> Broker.notification -> unit
+
+(** Latest compile-memory target learned from the broker (0 if none). *)
+val broker_target : t -> int
+
+(** [true] when compilations should wrap up with their best plan so far. *)
+val should_stop_early : t -> bool
+
+(** {1 Introspection} *)
+
+val enabled : t -> bool
+
+(** Current entry threshold of level [i] (dynamic if configured). *)
+val threshold : t -> int -> int
+
+(** [population t i] is the number of sessions holding exactly [i]
+    monitors. *)
+val population : t -> int -> int
+
+val active_sessions : t -> int
+val monitors : t -> Monitor.t array
+val clerk : t -> Dbmem.Manager.clerk
+val pp : Format.formatter -> t -> unit

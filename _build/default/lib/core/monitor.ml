@@ -1,0 +1,24 @@
+type t = { mname : string; sem : Sim.Resource.Sem.t; mtimeout : float }
+
+let create eng ~name ~slots ~timeout =
+  if slots < 1 then invalid_arg "Monitor.create: slots must be >= 1";
+  if timeout <= 0. then invalid_arg "Monitor.create: timeout must be > 0";
+  { mname = name; sem = Sim.Resource.Sem.create eng ~name ~capacity:slots (); mtimeout = timeout }
+
+let acquire t ?(priority = 0) () =
+  match
+    Sim.Resource.Sem.acquire t.sem ~priority ~timeout:t.mtimeout ~n:1 ()
+  with
+  | Sim.Resource.Acquired -> Ok ()
+  | Sim.Resource.Timed_out -> Error `Timeout
+
+let release t = Sim.Resource.Sem.release t.sem ~n:1
+let set_slots t n = Sim.Resource.Sem.set_capacity t.sem n
+let name t = t.mname
+let slots t = Sim.Resource.Sem.capacity t.sem
+let in_use t = Sim.Resource.Sem.in_use t.sem
+let queued t = Sim.Resource.Sem.queued t.sem
+let timeout t = t.mtimeout
+let acquires t = Sim.Resource.Sem.grants t.sem
+let timeouts t = Sim.Resource.Sem.timeouts t.sem
+let wait_stats t = Sim.Resource.Sem.wait_stats t.sem

@@ -1,0 +1,38 @@
+(** A single memory monitor ("gateway", paper §4.1).
+
+    A monitor admits at most [slots] concurrent compilations. A compilation
+    acquires the monitor when its memory usage crosses the monitor's
+    threshold (threshold logic lives in {!Compile_gov}; this module is just
+    the admission gate) and blocks if no slot is free. Acquisition carries a
+    timeout: a compilation that makes no progress for too long fails with a
+    timeout error rather than deadlocking the system. *)
+
+type t
+
+val create : Sim.Engine.t -> name:string -> slots:int -> timeout:float -> t
+
+(** [acquire t ()] blocks until a slot is free or the monitor's timeout
+    elapses. Must run inside a simulation process. Lower [priority] is
+    served first; default [0] (FIFO). *)
+val acquire : t -> ?priority:int -> unit -> (unit, [ `Timeout ]) result
+
+(** Give the slot back. *)
+val release : t -> unit
+
+(** Adjust concurrency at runtime (dynamic policies). *)
+val set_slots : t -> int -> unit
+
+val name : t -> string
+val slots : t -> int
+val in_use : t -> int
+val queued : t -> int
+val timeout : t -> float
+
+(** {1 Statistics} *)
+
+val acquires : t -> int
+val timeouts : t -> int
+
+(** Distribution of time spent blocked in {!acquire} (successful acquires
+    only; zero for fast-path grants). *)
+val wait_stats : t -> Sim.Stats.Online.t

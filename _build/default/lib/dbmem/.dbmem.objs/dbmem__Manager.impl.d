@@ -1,0 +1,1 @@
+lib/dbmem/manager.ml: Format List Units

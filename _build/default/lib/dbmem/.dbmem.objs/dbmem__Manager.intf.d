@@ -1,0 +1,1 @@
+lib/dbmem/manager.mli: Format

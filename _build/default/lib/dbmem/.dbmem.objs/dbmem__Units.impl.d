@@ -1,0 +1,1 @@
+lib/dbmem/units.ml: Float Format

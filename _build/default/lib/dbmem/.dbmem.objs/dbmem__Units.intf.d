@@ -1,0 +1,1 @@
+lib/dbmem/units.mli: Format

@@ -1,0 +1,113 @@
+type clerk = {
+  cname : string;
+  mutable used : int;
+  mutable peak : int;
+  owner : t;
+}
+
+and donor = { dclerk : clerk; priority : int; shrink : int -> int }
+
+and t = {
+  total : int;
+  mutable used_total : int;
+  mutable clerks_rev : clerk list;
+  mutable donors : donor list; (* kept sorted by priority *)
+  mutable oom_count : int;
+  mutable alloc_count : int;
+}
+
+exception Out_of_memory of { clerk : string; requested : int; free : int }
+
+let create ~total () =
+  if total <= 0 then invalid_arg "Manager.create: total must be > 0";
+  {
+    total;
+    used_total = 0;
+    clerks_rev = [];
+    donors = [];
+    oom_count = 0;
+    alloc_count = 0;
+  }
+
+let total t = t.total
+let used t = t.used_total
+let available t = t.total - t.used_total
+
+let create_clerk t name =
+  let c = { cname = name; used = 0; peak = 0; owner = t } in
+  t.clerks_rev <- c :: t.clerks_rev;
+  c
+
+let clerk_name c = c.cname
+let clerk_used c = c.used
+let clerk_peak c = c.peak
+let reset_peak c = c.peak <- c.used
+
+let free_bytes c n =
+  if n < 0 then invalid_arg "Manager.free: negative";
+  if n > c.used then invalid_arg ("Manager.free: clerk " ^ c.cname ^ " underflow");
+  c.used <- c.used - n;
+  c.owner.used_total <- c.owner.used_total - n
+
+(* Ask donors, cheapest-to-shrink first, until the manager has [target_free]
+   bytes free. Donors shrink through [free_bytes] on their own clerk. *)
+let reclaim t ~target_free =
+  let rec ask donors freed =
+    if available t >= target_free then freed
+    else
+      match donors with
+      | [] -> freed
+      | d :: rest ->
+          let want = target_free - available t in
+          let got = if d.dclerk.used = 0 then 0 else d.shrink want in
+          ask rest (freed + got)
+  in
+  ask t.donors 0
+
+let demand t n = reclaim t ~target_free:n
+
+let alloc c n =
+  if n < 0 then invalid_arg "Manager.alloc: negative";
+  let t = c.owner in
+  t.alloc_count <- t.alloc_count + 1;
+  if available t < n then ignore (reclaim t ~target_free:n);
+  if available t < n then begin
+    t.oom_count <- t.oom_count + 1;
+    Error `Out_of_memory
+  end
+  else begin
+    c.used <- c.used + n;
+    if c.used > c.peak then c.peak <- c.used;
+    t.used_total <- t.used_total + n;
+    Ok ()
+  end
+
+let alloc_exn c n =
+  match alloc c n with
+  | Ok () -> ()
+  | Error `Out_of_memory ->
+      raise (Out_of_memory { clerk = c.cname; requested = n; free = available c.owner })
+
+let free = free_bytes
+let free_all c = free_bytes c c.used
+
+let register_donor t ~clerk ~priority ~shrink =
+  let d = { dclerk = clerk; priority; shrink } in
+  t.donors <-
+    List.sort (fun a b -> compare a.priority b.priority) (d :: t.donors)
+
+let clerks t = List.rev t.clerks_rev
+let find_clerk t name = List.find_opt (fun c -> c.cname = name) (clerks t)
+let snapshot t = List.map (fun c -> (c.cname, c.used)) (clerks t)
+let oom_count t = t.oom_count
+let alloc_count t = t.alloc_count
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>memory %a/%a free %a@," Units.pp_bytes t.used_total
+    Units.pp_bytes t.total Units.pp_bytes (available t);
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  %-16s %a (peak %a)@," c.cname Units.pp_bytes c.used
+        Units.pp_bytes c.peak)
+    (clerks t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,1 @@
+lib/execsim/cpu.ml: Float Sim

@@ -1,0 +1,1 @@
+lib/execsim/cpu.mli: Sim

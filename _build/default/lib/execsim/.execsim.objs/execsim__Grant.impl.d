@@ -1,0 +1,1 @@
+lib/execsim/grant.ml: Dbmem Sim

@@ -1,0 +1,1 @@
+lib/execsim/grant.mli: Dbmem Sim

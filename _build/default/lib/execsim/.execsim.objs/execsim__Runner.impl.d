@@ -1,0 +1,1 @@
+lib/execsim/runner.ml: Bufpool Cpu Float Fun Grant List Optimizer Sim

@@ -1,0 +1,1 @@
+lib/execsim/runner.mli: Bufpool Cpu Grant Optimizer Sim

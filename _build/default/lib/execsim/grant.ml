@@ -1,0 +1,54 @@
+type t = {
+  sem : Sim.Resource.Sem.t;
+  clerk : Dbmem.Manager.clerk;
+  max_query_frac : float;
+  min_grant : int;
+  timeout : float;
+}
+
+let create eng _manager ~clerk ~total ?(max_query_frac = 0.25) ?(min_grant = 1024 * 1024)
+    ?(timeout = 300.) () =
+  if total <= 0 then invalid_arg "Grant.create: total";
+  if not (max_query_frac > 0. && max_query_frac <= 1.) then
+    invalid_arg "Grant.create: max_query_frac";
+  {
+    sem = Sim.Resource.Sem.create eng ~name:"grants" ~capacity:total ();
+    clerk;
+    max_query_frac;
+    min_grant;
+    timeout;
+  }
+
+let target_grant t ~ideal =
+  let cap =
+    int_of_float (t.max_query_frac *. float_of_int (Sim.Resource.Sem.capacity t.sem))
+  in
+  max (min ideal t.min_grant) (min ideal cap)
+
+let acquire t ~ideal =
+  if ideal < 0 then invalid_arg "Grant.acquire: negative";
+  let n = target_grant t ~ideal in
+  match Sim.Resource.Sem.acquire t.sem ~timeout:t.timeout ~n () with
+  | Sim.Resource.Timed_out -> Error `Timeout
+  | Sim.Resource.Acquired -> (
+      (* Reserve physically so the broker sees execution memory; donors
+         (caches) are shrunk if needed. *)
+      match Dbmem.Manager.alloc t.clerk n with
+      | Ok () -> Ok n
+      | Error `Out_of_memory ->
+          Sim.Resource.Sem.release t.sem ~n;
+          Error `Out_of_memory)
+
+let release t n =
+  if n > 0 then begin
+    Dbmem.Manager.free t.clerk n;
+    Sim.Resource.Sem.release t.sem ~n
+  end
+
+let set_total t n = Sim.Resource.Sem.set_capacity t.sem n
+let total t = Sim.Resource.Sem.capacity t.sem
+let in_use t = Sim.Resource.Sem.in_use t.sem
+let queued t = Sim.Resource.Sem.queued t.sem
+let timeouts t = Sim.Resource.Sem.timeouts t.sem
+let grants t = Sim.Resource.Sem.grants t.sem
+let wait_stats t = Sim.Resource.Sem.wait_stats t.sem

@@ -1,0 +1,43 @@
+(** Execution memory grants (the "resource semaphore").
+
+    Before a query executes, it reserves workspace memory for its hashes
+    and sorts. Requests queue in FIFO order against a byte-denominated
+    semaphore; a query is granted at most [max_query_frac] of the total
+    workspace (large requests are trimmed rather than starved, and spill
+    during execution instead). A request that waits longer than [timeout]
+    fails with a grant timeout — one of the resource errors the paper's
+    experiments count. Granted bytes are also accounted against the
+    execution clerk so the broker sees execution memory. *)
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  Dbmem.Manager.t ->
+  clerk:Dbmem.Manager.clerk ->
+  total:int ->
+  ?max_query_frac:float ->
+  ?min_grant:int ->
+  ?timeout:float ->
+  unit ->
+  t
+
+(** [acquire t ~ideal] blocks until granted. Returns the granted bytes
+    ([<= ideal], trimmed to the per-query cap, floored at [min_grant] or
+    [ideal] if smaller). *)
+val acquire : t -> ideal:int -> (int, [ `Timeout | `Out_of_memory ]) result
+
+(** [release t n] returns granted bytes ([n] must be what {!acquire}
+    returned). *)
+val release : t -> int -> unit
+
+(** Adjust the workspace size (broker pressure). In-flight grants are
+    unaffected; the change applies to queued and future requests. *)
+val set_total : t -> int -> unit
+
+val total : t -> int
+val in_use : t -> int
+val queued : t -> int
+val timeouts : t -> int
+val grants : t -> int
+val wait_stats : t -> Sim.Stats.Online.t

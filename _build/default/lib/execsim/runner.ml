@@ -1,0 +1,117 @@
+type resources = {
+  eng : Sim.Engine.t;
+  cpu : Cpu.t;
+  pool : Bufpool.Pool.t;
+  disk : Bufpool.Disk.t;
+  grants : Grant.t;
+  rng : Sim.Rng.t;
+}
+
+type config = {
+  cpu_seconds_per_cost : float;
+  spill_io_factor : float;
+  io_interleave : int;
+  cost_page_bytes : int;
+}
+
+let default_config =
+  {
+    cpu_seconds_per_cost = 4.0e-5;
+    spill_io_factor = 2.0;
+    io_interleave = 256;
+    cost_page_bytes = 8192;
+  }
+
+type outcome = {
+  duration : float;
+  granted : int;
+  ideal : int;
+  pages_read : int;
+  spilled : bool;
+}
+
+type error = [ `Grant_timeout | `Out_of_memory ]
+
+let run_scan res config ~cpu_share (s : Optimizer.Plan.scan) =
+  let table = Bufpool.Pool.table_id res.pool s.Optimizer.Plan.stable in
+  (* Plan page counts are in cost-model pages; the pool caches coarser
+     granules. *)
+  let granules cost_pages =
+    let bytes = cost_pages *. float_of_int config.cost_page_bytes in
+    max 1
+      (int_of_float
+         (ceil (bytes /. float_of_int (Bufpool.Pool.page_bytes res.pool))))
+  in
+  let pages = granules s.Optimizer.Plan.spages in
+  let total = max pages (granules s.Optimizer.Plan.stotal_pages) in
+  if s.Optimizer.Plan.random_io then
+    Bufpool.Pool.read_random res.pool ~table ~pages ~of_pages:total ~rng:res.rng
+  else begin
+    (* Ad-hoc scans hit different parts of the table: pick a random
+       starting offset so working sets of concurrent queries overlap only
+       partially. *)
+    let first =
+      if total > pages then Sim.Rng.int res.rng (total - pages + 1) else 0
+    in
+    Bufpool.Pool.read_range res.pool ~table ~first ~count:pages
+  end;
+  Cpu.busy res.cpu cpu_share;
+  ignore config;
+  pages
+
+let spill_io res ~bytes =
+  (* Spilled partitions are written out and read back, in bounded chunks so
+     one spill does not monopolise a spindle. *)
+  let chunk = 32 * 1024 * 1024 in
+  let rec go remaining write =
+    if remaining > 0 then begin
+      let n = min chunk remaining in
+      if write then Bufpool.Disk.write res.disk ~bytes:n
+      else Bufpool.Disk.read res.disk ~bytes:n;
+      go (remaining - n) write
+    end
+  in
+  go (bytes / 2) true;
+  go (bytes / 2) false
+
+let run res config plan =
+  let start = Sim.Engine.now res.eng in
+  let ideal = Optimizer.Plan.grant_bytes plan in
+  match Grant.acquire res.grants ~ideal with
+  | Error `Timeout -> Error `Grant_timeout
+  | Error `Out_of_memory -> Error `Out_of_memory
+  | Ok granted ->
+      let finally () = Grant.release res.grants granted in
+      Fun.protect ~finally (fun () ->
+          let scans = Optimizer.Plan.scans plan in
+          let total_pages =
+            List.fold_left
+              (fun acc (s : Optimizer.Plan.scan) ->
+                acc +. Float.max 1. s.Optimizer.Plan.spages)
+              0. scans
+          in
+          let total_cpu =
+            Optimizer.Plan.cpu_cost plan *. config.cpu_seconds_per_cost
+          in
+          let pages_read =
+            List.fold_left
+              (fun acc (s : Optimizer.Plan.scan) ->
+                let share =
+                  total_cpu *. Float.max 1. s.Optimizer.Plan.spages /. total_pages
+                in
+                acc + run_scan res config ~cpu_share:share s)
+              0 scans
+          in
+          let shortfall = ideal - granted in
+          let spilled = shortfall > 0 in
+          if spilled then
+            spill_io res
+              ~bytes:(int_of_float (float_of_int shortfall *. config.spill_io_factor));
+          Ok
+            {
+              duration = Sim.Engine.now res.eng -. start;
+              granted;
+              ideal;
+              pages_read;
+              spilled;
+            })

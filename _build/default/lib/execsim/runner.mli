@@ -1,0 +1,46 @@
+(** Simulated execution of a physical plan.
+
+    The runner turns a costed {!Optimizer.Plan.t} into resource demand:
+    page reads through the buffer pool (so execution speed depends on how
+    much of the pool compilations have stolen), CPU slices through the
+    shared processor pool, a workspace grant held for the duration, and
+    spill I/O when the grant falls short of the plan's ideal. Wall-clock
+    duration emerges from contention rather than being drawn from a
+    distribution. *)
+
+type resources = {
+  eng : Sim.Engine.t;
+  cpu : Cpu.t;
+  pool : Bufpool.Pool.t;
+  disk : Bufpool.Disk.t;
+  grants : Grant.t;
+  rng : Sim.Rng.t;
+}
+
+type config = {
+  cpu_seconds_per_cost : float;
+      (** converts {!Optimizer.Plan.cpu_cost} units into CPU seconds *)
+  spill_io_factor : float;
+      (** bytes of extra disk traffic per byte of grant shortfall (write
+          out + read back = 2.0) *)
+  io_interleave : int;  (** pages read between CPU slices *)
+  cost_page_bytes : int;
+      (** page size the cost model counted pages in (converted to pool
+          granules here) *)
+}
+
+val default_config : config
+
+type outcome = {
+  duration : float;  (** wall-clock seconds the execution took *)
+  granted : int;
+  ideal : int;
+  pages_read : int;
+  spilled : bool;
+}
+
+type error = [ `Grant_timeout | `Out_of_memory ]
+
+(** [run res config plan] — must be called from a simulation process. The
+    grant is always released, also on error. *)
+val run : resources -> config -> Optimizer.Plan.t -> (outcome, error) result

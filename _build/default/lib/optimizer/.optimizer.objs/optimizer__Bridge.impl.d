@@ -1,0 +1,1 @@
+lib/optimizer/bridge.ml: Array Catalog Datagen Expr Filename Hashtbl List Plan Printf Query Relation Relset Rowexec Schema Table Value

@@ -1,0 +1,1 @@
+lib/optimizer/bridge.mli: Catalog Plan Query Relation Rowexec Sim

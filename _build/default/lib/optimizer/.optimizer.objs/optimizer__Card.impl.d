@@ -1,0 +1,1 @@
+lib/optimizer/card.ml: Array Catalog Float Hashtbl List Query Relset

@@ -1,0 +1,1 @@
+lib/optimizer/cascades.ml: Array Card Cost Env Greedy Hashtbl List Plan Query Relset Rules

@@ -1,0 +1,1 @@
+lib/optimizer/cascades.mli: Catalog Cost Env Plan Query Stdlib

@@ -1,0 +1,1 @@
+lib/optimizer/catalog.ml: Array Dbmem Float Format Histogram List Relation

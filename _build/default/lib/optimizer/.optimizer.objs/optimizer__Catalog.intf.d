@@ -1,0 +1,1 @@
+lib/optimizer/catalog.mli: Format Histogram Relation

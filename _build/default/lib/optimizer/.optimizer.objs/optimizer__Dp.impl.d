@@ -1,0 +1,1 @@
+lib/optimizer/dp.ml: Array Card List Plan Printf Query Relset Rules

@@ -1,0 +1,1 @@
+lib/optimizer/dp.mli: Card Cost Plan

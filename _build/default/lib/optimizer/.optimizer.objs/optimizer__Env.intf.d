@@ -1,0 +1,1 @@
+lib/optimizer/env.mli: Format

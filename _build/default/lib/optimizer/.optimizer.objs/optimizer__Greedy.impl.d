@@ -1,0 +1,1 @@
+lib/optimizer/greedy.ml: Card List Query Relset Rules

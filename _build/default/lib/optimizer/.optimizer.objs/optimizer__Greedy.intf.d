@@ -1,0 +1,1 @@
+lib/optimizer/greedy.mli: Card Cost Plan

@@ -1,0 +1,1 @@
+lib/optimizer/histogram.ml: Array Float Format List

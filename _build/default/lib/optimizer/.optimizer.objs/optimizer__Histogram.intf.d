@@ -1,0 +1,1 @@
+lib/optimizer/histogram.mli: Format

@@ -1,0 +1,1 @@
+lib/optimizer/plan.ml: Card Catalog Cost Float Format List Printf Query Relset

@@ -1,0 +1,1 @@
+lib/optimizer/query.ml: Array Buffer Catalog Float Format Histogram List Printf Relset String

@@ -1,0 +1,1 @@
+lib/optimizer/query.mli: Catalog Format Relset

@@ -1,0 +1,1 @@
+lib/optimizer/relset.ml: Format Int List String

@@ -1,0 +1,1 @@
+lib/optimizer/relset.mli: Format

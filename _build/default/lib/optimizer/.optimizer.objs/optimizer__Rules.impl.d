@@ -1,0 +1,1 @@
+lib/optimizer/rules.ml: Card List Plan Query Relset

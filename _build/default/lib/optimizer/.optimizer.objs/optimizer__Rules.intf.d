@@ -1,0 +1,1 @@
+lib/optimizer/rules.mli: Card Cost Plan

@@ -1,0 +1,55 @@
+type t = {
+  cat : Catalog.t;
+  q : Query.t;
+  tables : Catalog.table array;
+  base : float array;
+  widths : int array;
+  memo : (Relset.t, float) Hashtbl.t;
+}
+
+let create cat q =
+  let n = Query.n_rels q in
+  let tables =
+    Array.init n (fun i -> Catalog.find_table cat q.Query.rels.(i).Query.rtable)
+  in
+  let base =
+    Array.init n (fun i ->
+        Float.max 1.0 (tables.(i).Catalog.rows *. Query.filter_sel q i))
+  in
+  let widths = Array.map Catalog.row_width tables in
+  { cat; q; tables; base; widths; memo = Hashtbl.create 256 }
+
+let query t = t.q
+let table_of t i = t.tables.(i)
+let base_rows t i = t.base.(i)
+
+let card t s =
+  match Hashtbl.find_opt t.memo s with
+  | Some c -> c
+  | None ->
+      let rows = Relset.fold (fun i acc -> acc *. t.base.(i)) s 1.0 in
+      let sel =
+        List.fold_left
+          (fun acc (p : Query.join_pred) ->
+            if Relset.mem p.Query.jleft s && Relset.mem p.Query.jright s then
+              acc *. p.Query.jsel
+            else acc)
+          1.0 t.q.Query.preds
+      in
+      let c = Float.max 1.0 (rows *. sel) in
+      Hashtbl.replace t.memo s c;
+      c
+
+let group_card t group_by ~input =
+  let distinct_product =
+    List.fold_left
+      (fun acc (rel, col_name) ->
+        let col = Catalog.column t.tables.(rel) col_name in
+        acc *. Float.max 1.0 col.Catalog.distinct)
+      1.0 group_by
+  in
+  Float.max 1.0 (Float.min input distinct_product)
+
+let width t s = Relset.fold (fun i acc -> acc + t.widths.(i)) s 0
+
+let memo_size t = Hashtbl.length t.memo

@@ -1,0 +1,307 @@
+type params = {
+  group_bytes : int;
+  lexpr_bytes : int;
+  phys_bytes : int;
+  task_cpu : float;
+  cpu_batch : int;
+  max_tasks : int;
+  min_tasks : int;
+  tasks_per_cost : float;
+  expand_chunk : int;
+  honor_stop_early : bool;
+}
+
+let default_params =
+  {
+    group_bytes = 72 * 1024;
+    lexpr_bytes = 18 * 1024;
+    phys_bytes = 18 * 1024;
+    task_cpu = 2.0e-3;
+    cpu_batch = 64;
+    max_tasks = 45_000;
+    min_tasks = 500;
+    tasks_per_cost = 1.2e-2;
+    expand_chunk = 16;
+    honor_stop_early = true;
+  }
+
+type outcome = Complete | Budget_exhausted | Stopped_early
+
+type stats = {
+  tasks : int;
+  groups : int;
+  lexprs : int;
+  phys : int;
+  allocated_bytes : int;
+  budget : int;
+}
+
+type result = { plan : Plan.t; cost : float; outcome : outcome; stats : stats }
+
+(* ------------------------------------------------------------------ *)
+(* Memo *)
+
+type group_state = Fresh | Expanding | Done
+
+type group = {
+  gset : Relset.t;
+  mutable state : group_state;
+  mutable best : Plan.t option;
+  mutable splits : (Relset.t * Relset.t) array;
+      (* valid (left, right) partitions, filled when expansion starts *)
+  mutable outstanding : int;
+      (* unfinished tasks owned by this group: 1 for the expansion itself
+         plus one per recorded split *)
+  mutable pending : task list;
+      (* split tasks of *parent* groups waiting for this group to finish *)
+}
+
+and task =
+  | Opt_group of Relset.t
+  | Expand of Relset.t * int (* cursor into the group's split list *)
+  | Opt_split of Relset.t * Relset.t (* (group, left part) *)
+
+type search = {
+  params : params;
+  env : Env.t;
+  model : Cost.model;
+  card : Card.t;
+  q : Query.t;
+  groups : (Relset.t, group) Hashtbl.t;
+  mutable stack : task list;
+  mutable tasks : int;
+  mutable n_groups : int;
+  mutable n_lexprs : int;
+  mutable n_phys : int;
+  mutable allocated : int;
+  mutable cpu_pending : int;
+}
+
+let alloc s bytes =
+  s.allocated <- s.allocated + bytes;
+  s.env.Env.alloc bytes
+
+let push s task = s.stack <- task :: s.stack
+
+let find_or_create s set =
+  match Hashtbl.find_opt s.groups set with
+  | Some g -> g
+  | None ->
+      let g =
+        {
+          gset = set;
+          state = Fresh;
+          best = None;
+          splits = [||];
+          outstanding = 0;
+          pending = [];
+        }
+      in
+      Hashtbl.replace s.groups set g;
+      s.n_groups <- s.n_groups + 1;
+      alloc s s.params.group_bytes;
+      (* Cardinality estimation for a new group is part of its footprint. *)
+      ignore (Card.card s.card set);
+      g
+
+let update_best g plan =
+  match g.best with
+  | Some b when Plan.total_cost b <= Plan.total_cost plan -> ()
+  | _ -> g.best <- Some plan
+
+let finish_group s g =
+  g.state <- Done;
+  let pending = g.pending in
+  g.pending <- [];
+  List.iter (fun t -> push s t) pending
+
+let group_task_done s g =
+  g.outstanding <- g.outstanding - 1;
+  if g.outstanding = 0 && g.state = Expanding then finish_group s g
+
+(* ------------------------------------------------------------------ *)
+(* Task processing *)
+
+let process_opt_group s set =
+  let g = find_or_create s set in
+  match g.state with
+  | Expanding | Done -> ()
+  | Fresh ->
+      if Relset.cardinal set = 1 then begin
+        let i = Relset.min_elt set in
+        let alternatives = Rules.leaf_alternatives s.model s.card i in
+        alloc s (s.params.phys_bytes * List.length alternatives);
+        s.n_phys <- s.n_phys + List.length alternatives;
+        List.iter (update_best g) alternatives;
+        g.state <- Done;
+        finish_group s g
+      end
+      else begin
+        g.state <- Expanding;
+        g.outstanding <- 1;
+        (* Enumerate the valid logical splits up front: each unordered
+           partition once (the side holding the lowest relation is the
+           left), both sides connected. EnumerateCsg makes this linear in
+           the number of *valid* alternatives rather than in 2^n. *)
+        let m = Relset.min_elt set in
+        let rest = Relset.diff set (Relset.singleton m) in
+        let splits =
+          Query.connected_subsets s.q rest
+          |> List.filter_map (fun r ->
+                 let l = Relset.diff set r in
+                 if Query.connected s.q l then Some (l, r) else None)
+        in
+        g.splits <- Array.of_list splits;
+        s.n_lexprs <- s.n_lexprs + Array.length g.splits;
+        alloc s (s.params.lexpr_bytes * Array.length g.splits);
+        push s (Expand (set, 0))
+      end
+
+let process_expand s set cursor =
+  let g = Hashtbl.find s.groups set in
+  let stop = min (Array.length g.splits) (cursor + s.params.expand_chunk) in
+  for i = cursor to stop - 1 do
+    let l, r = g.splits.(i) in
+    g.outstanding <- g.outstanding + 1;
+    (* LIFO: children optimize before the split is costed. *)
+    push s (Opt_split (set, l));
+    push s (Opt_group r);
+    push s (Opt_group l)
+  done;
+  if stop < Array.length g.splits then push s (Expand (set, stop))
+  else
+    (* Expansion finished: drop its outstanding unit. *)
+    group_task_done s g
+
+let process_opt_split s set l =
+  let g = Hashtbl.find s.groups set in
+  let r = Relset.diff set l in
+  let gl = find_or_create s l and gr = find_or_create s r in
+  if gl.state <> Done then gl.pending <- Opt_split (set, l) :: gl.pending
+  else if gr.state <> Done then gr.pending <- Opt_split (set, l) :: gr.pending
+  else begin
+    match (gl.best, gr.best) with
+    | Some pl, Some pr ->
+        let alternatives = Rules.join_alternatives s.model s.card pl pr in
+        alloc s (s.params.phys_bytes * List.length alternatives);
+        s.n_phys <- s.n_phys + List.length alternatives;
+        List.iter (update_best g) alternatives;
+        group_task_done s g
+    | _ ->
+        (* A Done child always has a best plan (connected subsets always
+           have at least the left-deep plan through their members). *)
+        assert false
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let flush_cpu s =
+  if s.cpu_pending > 0 then begin
+    s.env.Env.cpu (float_of_int s.cpu_pending *. s.params.task_cpu);
+    s.cpu_pending <- 0
+  end
+
+let optimize ?(params = default_params) ~env model cat q =
+  let card = Card.create cat q in
+  let full = Relset.full (Query.n_rels q) in
+  let s =
+    {
+      params;
+      env;
+      model;
+      card;
+      q;
+      groups = Hashtbl.create 1024;
+      stack = [];
+      tasks = 0;
+      n_groups = 0;
+      n_lexprs = 0;
+      n_phys = 0;
+      allocated = 0;
+      cpu_pending = 0;
+    }
+  in
+  try
+    (* Seed: greedy left-deep plan guarantees a complete plan exists from
+       the start (pre-aggregation form lives in the memo root). *)
+    let root = find_or_create s full in
+    let seed = Greedy.plan model card in
+    let seed_join_cost =
+      (* Budget scales with estimated query cost (dynamic optimization). *)
+      Plan.total_cost seed
+    in
+    let budget =
+      min params.max_tasks
+        (max params.min_tasks
+           (int_of_float (seed_join_cost *. params.tasks_per_cost)))
+    in
+    (* Keep the un-aggregated seed in the memo for joining purposes. *)
+    let seed_join =
+      match seed.Plan.node with
+      | Plan.Hash_agg (c, _, _) -> c
+      | Plan.Stream_agg (c, _, _) ->
+          (* Strip the sort the stream aggregate inserted. *)
+          (match c.Plan.node with Plan.Sort inner -> inner | _ -> c)
+      | _ -> seed
+    in
+    update_best root seed_join;
+    alloc s (params.phys_bytes * Plan.n_operators seed_join);
+    push s (Opt_group full);
+    let stopped = ref None in
+    let rec loop () =
+      match s.stack with
+      | [] -> ()
+      | task :: rest ->
+          if s.tasks >= budget then stopped := Some Budget_exhausted
+          else if params.honor_stop_early && s.env.Env.should_stop () then
+            stopped := Some Stopped_early
+          else begin
+            s.stack <- rest;
+            s.tasks <- s.tasks + 1;
+            s.cpu_pending <- s.cpu_pending + 1;
+            if s.cpu_pending >= params.cpu_batch then flush_cpu s;
+            (match task with
+            | Opt_group set -> process_opt_group s set
+            | Expand (set, cursor) -> process_expand s set cursor
+            | Opt_split (set, l) -> process_opt_split s set l);
+            loop ()
+          end
+    in
+    (try loop () with
+    | Env.Aborted Env.Out_of_memory when params.honor_stop_early ->
+        (* The paper's second extension: when memory runs out mid-search,
+           return the best plan from the set of already explored plans
+           instead of an out-of-memory error. (The memo always holds a
+           complete plan thanks to the greedy seed.) *)
+        stopped := Some Stopped_early
+    | Env.Aborted _ as e -> raise e);
+    flush_cpu s;
+    let outcome =
+      match !stopped with
+      | Some o -> o
+      | None -> Complete
+    in
+    let plan =
+      match root.best with
+      | Some p -> Rules.finalize model card p
+      | None -> seed
+    in
+    Ok
+      {
+        plan;
+        cost = Plan.total_cost plan;
+        outcome;
+        stats =
+          {
+            tasks = s.tasks;
+            groups = s.n_groups;
+            lexprs = s.n_lexprs;
+            phys = s.n_phys;
+            allocated_bytes = s.allocated;
+            budget;
+          };
+      }
+  with Env.Aborted reason ->
+    (* Hard failure (gateway timeout, or OOM with the best-plan extension
+       disabled): surfaces as an error and the client retries. *)
+    Error reason

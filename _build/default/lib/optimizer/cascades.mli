@@ -1,0 +1,67 @@
+(** Cascades-style top-down plan search over a memo of relation-set groups.
+
+    The search runs as an explicit task stack (optimize-group /
+    expand-group / optimize-split tasks), which gives the three properties
+    the paper's throttling mechanism relies on:
+
+    - {b metered memory}: every group, logical split and physical
+      alternative charges bytes through {!Env.t}, so compile memory grows
+      with the number of alternatives considered and is freed only when
+      compilation ends;
+    - {b interruptibility}: the environment's [alloc] may block the calling
+      simulation process at a gateway for arbitrarily long, or abort the
+      compilation by raising {!Env.Aborted};
+    - {b best-plan-so-far}: the memo is seeded with a greedy left-deep plan
+      before search starts, so at any moment a complete (if suboptimal)
+      plan exists; when the broker predicts memory exhaustion
+      ([should_stop]) the search returns it instead of failing.
+
+    Search effort follows the paper's "dynamic optimization": the task
+    budget scales with the estimated cost of the seed plan, so expensive
+    queries get (and allocate) more. A completed search explores every
+    connected split of every connected subset — the same space as {!Dp} —
+    hence equal optimal cost. *)
+
+type params = {
+  group_bytes : int;  (** metered bytes per memo group *)
+  lexpr_bytes : int;  (** per logical split recorded *)
+  phys_bytes : int;  (** per physical alternative costed *)
+  task_cpu : float;  (** simulated CPU seconds per task *)
+  cpu_batch : int;  (** report CPU to the env every N tasks *)
+  max_tasks : int;  (** hard ceiling on search effort *)
+  min_tasks : int;  (** floor, so trivial queries still finish *)
+  tasks_per_cost : float;
+      (** dynamic optimization: budget = seed plan cost * this *)
+  expand_chunk : int;  (** splits examined per expand task *)
+  honor_stop_early : bool;
+      (** obey [should_stop] (the paper's best-plan extension); when
+          [false] the search ignores pressure and risks hard OOM *)
+}
+
+val default_params : params
+
+type outcome =
+  | Complete  (** full plan space explored: plan is optimal *)
+  | Budget_exhausted  (** dynamic-optimization budget hit: best so far *)
+  | Stopped_early  (** broker predicted OOM: best so far (paper §4.1) *)
+
+type stats = {
+  tasks : int;
+  groups : int;
+  lexprs : int;
+  phys : int;
+  allocated_bytes : int;  (** total compile memory metered *)
+  budget : int;  (** task budget chosen by dynamic optimization *)
+}
+
+type result = { plan : Plan.t; cost : float; outcome : outcome; stats : stats }
+
+(** [optimize ?params ~env model catalog query]. Errors are the governor's
+    abort reasons surfaced by [env.alloc]/[env.cpu]. *)
+val optimize :
+  ?params:params ->
+  env:Env.t ->
+  Cost.model ->
+  Catalog.t ->
+  Query.t ->
+  (result, Env.abort_reason) Stdlib.result

@@ -1,0 +1,30 @@
+type model = {
+  page_size : int;
+  seq_page_cost : float;
+  rand_page_cost : float;
+  cpu_tuple_cost : float;
+  hash_build_cost : float;
+  hash_probe_cost : float;
+  sort_cost : float;
+  agg_cost : float;
+  hash_mem_overhead : float;
+  work_mem : int;
+}
+
+let default =
+  {
+    page_size = 8192;
+    seq_page_cost = 1.0;
+    rand_page_cost = 4.0;
+    cpu_tuple_cost = 0.01;
+    hash_build_cost = 0.02;
+    hash_probe_cost = 0.012;
+    sort_cost = 0.012;
+    agg_cost = 0.008;
+    hash_mem_overhead = 48.;
+    work_mem = 64 * 1024 * 1024;
+  }
+
+let spill_factor model ~bytes =
+  let wm = float_of_int model.work_mem in
+  if bytes <= wm then 1.0 else 1.0 +. log (bytes /. wm) /. log 2.0

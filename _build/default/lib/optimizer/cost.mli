@@ -1,0 +1,27 @@
+(** Cost model for physical operators.
+
+    Costs are abstract units split into an I/O part (page reads, weighted by
+    sequential/random access) and a CPU part (per-tuple work). The simulated
+    executor later converts these back into wall-clock demand. Constants
+    follow the classic System-R / PostgreSQL style defaults. *)
+
+type model = {
+  page_size : int;  (** bytes per page for page-count estimates *)
+  seq_page_cost : float;
+  rand_page_cost : float;
+  cpu_tuple_cost : float;  (** per tuple produced / consumed *)
+  hash_build_cost : float;  (** per build row *)
+  hash_probe_cost : float;  (** per probe row *)
+  sort_cost : float;  (** per row * log2(rows) *)
+  agg_cost : float;  (** per input row per aggregate *)
+  hash_mem_overhead : float;  (** hash table bytes per row beyond the row *)
+  work_mem : int;
+      (** workspace assumed per operator when costing; hash joins whose
+          build side exceeds it are charged spill I/O *)
+}
+
+val default : model
+
+(** [spill_factor model ~bytes] is 1.0 when [bytes <= work_mem] and grows
+    with the overflow ratio (extra I/O passes). *)
+val spill_factor : model -> bytes:float -> float

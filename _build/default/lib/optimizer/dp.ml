@@ -1,0 +1,59 @@
+let max_rels = 14
+
+let optimize_with_stats model card =
+  let q = Card.query card in
+  let n = Query.n_rels q in
+  if n > max_rels then
+    invalid_arg
+      (Printf.sprintf "Dp.optimize: %d relations exceed the DP limit of %d" n
+         max_rels);
+  let full = Relset.full n in
+  let best : Plan.t option array = Array.make (full + 1) None in
+  let entries = ref 0 in
+  (* Leaves. *)
+  for i = 0 to n - 1 do
+    best.(Relset.singleton i) <-
+      Some (Rules.cheapest (Rules.leaf_alternatives model card i));
+    incr entries
+  done;
+  (* Subsets in increasing cardinality order; an int-ascending sweep is not
+     enough (a smaller-cardinality set can have a larger encoding), so sort
+     the masks by cardinality. *)
+  let masks =
+    List.init full (fun i -> i + 1)
+    |> List.filter (fun s -> Relset.cardinal s >= 2)
+    |> List.sort (fun a b -> compare (Relset.cardinal a) (Relset.cardinal b))
+  in
+  List.iter
+    (fun s ->
+      if Query.connected q s then begin
+        let lowest = Relset.min_elt s in
+        let candidate = ref None in
+        Relset.iter_strict_subsets s (fun l ->
+            (* Each unordered split once: the left part keeps the lowest
+               relation of [s] (join_alternatives tries both roles). *)
+            if Relset.mem lowest l then begin
+              let r = Relset.diff s l in
+              match (best.(l), best.(r)) with
+              | Some pl, Some pr
+                when Query.preds_between q l r <> [] ->
+                  let alt =
+                    Rules.cheapest (Rules.join_alternatives model card pl pr)
+                  in
+                  (match !candidate with
+                  | Some c when Plan.total_cost c <= Plan.total_cost alt -> ()
+                  | _ -> candidate := Some alt)
+              | _ -> ()
+            end);
+        match !candidate with
+        | Some plan ->
+            best.(s) <- Some plan;
+            incr entries
+        | None -> ()
+      end)
+    masks;
+  match best.(full) with
+  | Some plan -> (Rules.finalize model card plan, !entries)
+  | None -> invalid_arg "Dp.optimize: no plan (disconnected query?)"
+
+let optimize model card = fst (optimize_with_stats model card)

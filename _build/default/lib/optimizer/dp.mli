@@ -1,0 +1,17 @@
+(** System-R style exhaustive dynamic programming over connected relation
+    subsets (bushy plans, no cross products).
+
+    The DP baseline explores exactly the same plan space as a completed
+    Cascades search, so both must return plans of equal cost — a strong
+    cross-check used by the test suite. Exponential in the number of
+    relations; refuses queries above {!max_rels}. *)
+
+val max_rels : int
+
+(** [optimize model card] is the optimal plan (aggregation included).
+    Raises [Invalid_argument] when the query exceeds {!max_rels}. *)
+val optimize : Cost.model -> Card.t -> Plan.t
+
+(** Number of (connected-subset) DP entries filled by the last call —
+    returned alongside the plan by {!optimize_with_stats}. *)
+val optimize_with_stats : Cost.model -> Card.t -> Plan.t * int

@@ -1,0 +1,24 @@
+type abort_reason = Gateway_timeout of string | Out_of_memory | Cancelled
+
+exception Aborted of abort_reason
+
+type t = {
+  alloc : int -> unit;
+  cpu : float -> unit;
+  should_stop : unit -> bool;
+}
+
+let null =
+  { alloc = (fun _ -> ()); cpu = (fun _ -> ()); should_stop = (fun () -> false) }
+
+let counting ~bytes ~cpu_seconds =
+  {
+    alloc = (fun n -> bytes := !bytes + n);
+    cpu = (fun s -> cpu_seconds := !cpu_seconds +. s);
+    should_stop = (fun () -> false);
+  }
+
+let pp_abort_reason ppf = function
+  | Gateway_timeout m -> Format.fprintf ppf "gateway timeout (%s)" m
+  | Out_of_memory -> Format.fprintf ppf "out of memory"
+  | Cancelled -> Format.fprintf ppf "cancelled"

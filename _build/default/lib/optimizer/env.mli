@@ -1,0 +1,32 @@
+(** Compilation environment: the optimizer's only window onto the outside
+    world (memory governor, CPU accounting, pressure signals).
+
+    The search engine calls [alloc] for every memo structure it creates —
+    this is what makes compile memory grow with the number of alternatives
+    considered, the property the paper's throttling exploits — and [cpu]
+    for batches of search work. In the simulated server these are wired to
+    {!Qcore.Compile_gov} and the CPU scheduler; in unit tests {!null} makes
+    the optimizer pure. *)
+
+type abort_reason =
+  | Gateway_timeout of string
+  | Out_of_memory
+  | Cancelled
+
+(** Raised by [alloc] (or [cpu]) to abandon the compilation. *)
+exception Aborted of abort_reason
+
+type t = {
+  alloc : int -> unit;  (** meter [n] more bytes of compile memory *)
+  cpu : float -> unit;  (** consume simulated CPU seconds *)
+  should_stop : unit -> bool;
+      (** broker predicts memory exhaustion: wrap up with the best plan *)
+}
+
+(** No-op environment (pure optimization). *)
+val null : t
+
+(** Environment that counts allocations/CPU into the given refs (tests). *)
+val counting : bytes:int ref -> cpu_seconds:float ref -> t
+
+val pp_abort_reason : Format.formatter -> abort_reason -> unit

@@ -1,0 +1,15 @@
+(** Greedy left-deep join ordering.
+
+    Fast heuristic used (a) to seed the Cascades memo so a complete plan
+    exists from the first moment — the prerequisite for the paper's
+    return-best-plan-under-pressure extension — and (b) as the emergency
+    fallback plan. *)
+
+(** Left-deep join order: starts from the smallest filtered relation and
+    repeatedly joins the connected relation that minimises the intermediate
+    cardinality. *)
+val order : Card.t -> int list
+
+(** Costed left-deep plan following {!order}, using the cheapest physical
+    alternative at each step, with final aggregation applied. *)
+val plan : Cost.model -> Card.t -> Plan.t

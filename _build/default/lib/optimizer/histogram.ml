@@ -1,0 +1,76 @@
+type bucket = {
+  lo : int; (* inclusive *)
+  hi : int; (* inclusive *)
+  count : int;
+  distinct : int;
+}
+
+type t = { buckets : bucket array; total : int }
+
+let build ?(buckets = 32) values =
+  if Array.length values = 0 then invalid_arg "Histogram.build: empty sample";
+  if buckets < 1 then invalid_arg "Histogram.build: buckets";
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let nb = min buckets n in
+  let bucket_list = ref [] in
+  let start = ref 0 in
+  for b = 0 to nb - 1 do
+    (* Equi-depth boundaries; the last bucket absorbs the remainder. *)
+    let stop = if b = nb - 1 then n else (b + 1) * n / nb in
+    if stop > !start then begin
+      let lo = sorted.(!start) and hi = sorted.(stop - 1) in
+      let distinct = ref 1 in
+      for i = !start + 1 to stop - 1 do
+        if sorted.(i) <> sorted.(i - 1) then incr distinct
+      done;
+      bucket_list := { lo; hi; count = stop - !start; distinct = !distinct } :: !bucket_list;
+      start := stop
+    end
+  done;
+  { buckets = Array.of_list (List.rev !bucket_list); total = n }
+
+let sample_size t = t.total
+let n_buckets t = Array.length t.buckets
+let min_value t = t.buckets.(0).lo
+let max_value t = t.buckets.(Array.length t.buckets - 1).hi
+
+let clamp s = Float.min 1.0 (Float.max 0.0 s)
+
+let selectivity_le t v =
+  let rows = ref 0. in
+  Array.iter
+    (fun b ->
+      if v >= b.hi then rows := !rows +. float_of_int b.count
+      else if v >= b.lo then begin
+        (* Linear interpolation within the bucket's value range. *)
+        let width = float_of_int (b.hi - b.lo + 1) in
+        let covered = float_of_int (v - b.lo + 1) in
+        rows := !rows +. (float_of_int b.count *. covered /. width)
+      end)
+    t.buckets;
+  clamp (!rows /. float_of_int t.total)
+
+let selectivity_ge t v =
+  (* >= v is the complement of <= v-1. *)
+  clamp (1.0 -. selectivity_le t (v - 1))
+
+let selectivity_eq t v =
+  let rows = ref 0. in
+  Array.iter
+    (fun b ->
+      if v >= b.lo && v <= b.hi then
+        rows := !rows +. (float_of_int b.count /. float_of_int (max 1 b.distinct)))
+    t.buckets;
+  clamp (!rows /. float_of_int t.total)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>equi-depth histogram (%d rows, %d buckets)@,"
+    t.total (Array.length t.buckets);
+  Array.iter
+    (fun b ->
+      Format.fprintf ppf "  [%d, %d] count=%d distinct=%d@," b.lo b.hi b.count
+        b.distinct)
+    t.buckets;
+  Format.fprintf ppf "@]"

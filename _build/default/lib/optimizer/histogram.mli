@@ -1,0 +1,34 @@
+(** Equi-depth column histograms.
+
+    The uniform-distribution estimates in {!Query.filter_selectivity} are
+    the textbook default, but skewed columns mislead them badly. A column
+    may carry an equi-depth histogram built from (a sample of) its values;
+    when present, selectivity estimation interpolates within buckets of
+    equal row count, exactly like production optimizers' statistics
+    objects. *)
+
+type t
+
+(** [build ?buckets values] — equi-depth over a non-empty sample
+    (default 32 buckets; fewer when the sample is small). The input is not
+    modified. *)
+val build : ?buckets:int -> int array -> t
+
+(** Number of sampled rows the histogram summarises. *)
+val sample_size : t -> int
+
+val n_buckets : t -> int
+val min_value : t -> int
+val max_value : t -> int
+
+(** Estimated fraction of rows with [value <= v]. *)
+val selectivity_le : t -> int -> float
+
+(** Estimated fraction of rows with [value >= v]. *)
+val selectivity_ge : t -> int -> float
+
+(** Estimated fraction of rows with [value = v] (bucket density divided by
+    the bucket's distinct count). *)
+val selectivity_eq : t -> int -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,97 @@
+(** Logical queries: select-project-join blocks with optional aggregation,
+    represented as a join graph over catalog tables.
+
+    This is the input to the optimizer. Queries carry both the statistical
+    information the optimizer needs (selectivities) and enough concrete
+    predicate detail to be executed for real by the row-level engine when a
+    tiny instance of the data is materialised. *)
+
+type filter_op = Le | Ge | Eq
+
+type filter = {
+  frel : int;  (** relation index *)
+  fcol : string;
+  fop : filter_op;
+  fvalue : int;
+  fsel : float;  (** estimated selectivity in (0, 1] *)
+}
+
+type join_pred = {
+  jleft : int;  (** relation index *)
+  jlcol : string;
+  jright : int;
+  jrcol : string;
+  jsel : float;  (** join selectivity *)
+}
+
+type rel = { ridx : int; rtable : string; ralias : string }
+
+type aggregate = {
+  group_by : (int * string) list;  (** (relation, column) *)
+  sum_cols : (int * string) list;
+      (** numeric columns aggregated (SUM); a row count is always computed
+          as well, so the number of aggregate functions is
+          [1 + List.length sum_cols] *)
+}
+
+type t = {
+  qid : string;  (** fingerprint; unique per ad-hoc instance *)
+  rels : rel array;
+  preds : join_pred list;
+  filters : filter list;
+  agg : aggregate option;
+}
+
+(** [make ~id ~rels ~preds ~filters ~agg] validates relation indexes, alias
+    uniqueness and graph connectivity. *)
+val make :
+  id:string ->
+  rels:(string * string) list ->
+  preds:join_pred list ->
+  filters:filter list ->
+  agg:aggregate option ->
+  t
+
+val n_rels : t -> int
+val joins : t -> int
+
+(** Number of aggregate functions of the (optional) aggregation. *)
+val agg_count : t -> int
+
+(** Filters attached to relation [i]. *)
+val filters_of : t -> int -> filter list
+
+(** Combined filter selectivity of relation [i]. *)
+val filter_sel : t -> int -> float
+
+(** Join predicates with one side in [a] and the other in [b]. *)
+val preds_between : t -> Relset.t -> Relset.t -> join_pred list
+
+(** [connected t s] — the subgraph induced by [s] is connected. *)
+val connected : t -> Relset.t -> bool
+
+(** Relations adjacent (via join predicates) to members of [s], within
+    [within], excluding [s] itself. *)
+val neighborhood : t -> Relset.t -> within:Relset.t -> Relset.t
+
+(** [connected_subsets t s] enumerates every nonempty connected subset of
+    the subgraph induced by [s] (Moerkotte & Neumann's EnumerateCsg). The
+    count is exponential only for dense join graphs; star and chain
+    queries yield O(n) and O(n^2) subsets respectively. *)
+val connected_subsets : t -> Relset.t -> Relset.t list
+
+(** [filter_selectivity op value col] is the textbook uniform-distribution
+    estimate for [col op value] (used by query generators). *)
+val filter_selectivity :
+  filter_op -> int -> Catalog.column -> float
+
+(** Textbook equi-join selectivity [1 / max(d_left, d_right)]. *)
+val join_selectivity : Catalog.column -> Catalog.column -> float
+
+val pp : Format.formatter -> t -> unit
+
+(** Render the query as SQL text — the form in which the paper's load
+    generator would submit it. Useful for demonstrating ad-hoc
+    uniquification (two instances of one template differ only in literals
+    and dimension subsets). *)
+val to_sql : t -> string

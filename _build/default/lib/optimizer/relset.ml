@@ -1,0 +1,78 @@
+type t = int
+
+let empty = 0
+let is_empty t = t = 0
+
+let singleton i =
+  if i < 0 || i > 61 then invalid_arg "Relset: index out of range";
+  1 lsl i
+
+let mem i t = t land (1 lsl i) <> 0
+let add i t = t lor singleton i
+let union = ( lor )
+let inter = ( land )
+let diff a b = a land lnot b
+let subset a b = a land b = a
+let equal = Int.equal
+
+let cardinal t =
+  let rec loop t acc = if t = 0 then acc else loop (t land (t - 1)) (acc + 1) in
+  loop t 0
+
+let full n =
+  if n < 0 || n > 62 then invalid_arg "Relset.full";
+  if n = 0 then 0 else (1 lsl n) - 1
+
+let fold f t init =
+  let rec loop t acc =
+    if t = 0 then acc
+    else begin
+      let low = t land -t in
+      let i = ref 0 and v = ref low in
+      while !v > 1 do
+        v := !v lsr 1;
+        incr i
+      done;
+      loop (t lxor low) (f !i acc)
+    end
+  in
+  loop t init
+
+let members t = List.rev (fold (fun i acc -> i :: acc) t [])
+let iter f t = fold (fun i () -> f i) t ()
+
+let min_elt t =
+  if t = 0 then invalid_arg "Relset.min_elt: empty";
+  let low = t land -t in
+  let i = ref 0 and v = ref low in
+  while !v > 1 do
+    v := !v lsr 1;
+    incr i
+  done;
+  !i
+
+(* Standard descending submask enumeration: sub' = (sub - 1) land t. *)
+let first_subset t =
+  if t = 0 then None
+  else begin
+    let s = (t - 1) land t in
+    if s = 0 then None else Some s
+  end
+
+let next_subset t sub =
+  if sub land t <> sub then invalid_arg "Relset.next_subset: not a subset";
+  let s = (sub - 1) land t in
+  if s = 0 then None else Some s
+
+let iter_strict_subsets t f =
+  let rec loop = function
+    | None -> ()
+    | Some s ->
+        f s;
+        loop (next_subset t s)
+  in
+  loop (first_subset t)
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}"
+    (String.concat "," (List.map string_of_int (members t)))

@@ -1,0 +1,37 @@
+let leaf_alternatives model card i =
+  let seq = Plan.seq_scan model card i in
+  match Plan.index_scan model card i with
+  | Some idx -> [ seq; idx ]
+  | None -> [ seq ]
+
+let join_alternatives model card a b =
+  let rows = Card.card card (Relset.union a.Plan.rset b.Plan.rset) in
+  [
+    Plan.hash_join model ~rows ~build:a ~probe:b;
+    Plan.hash_join model ~rows ~build:b ~probe:a;
+    Plan.nl_join model ~rows ~outer:a ~inner:b;
+    Plan.nl_join model ~rows ~outer:b ~inner:a;
+    Plan.merge_join model ~rows ~left:a ~right:b;
+  ]
+
+let cheapest = function
+  | [] -> invalid_arg "Rules.cheapest: no alternatives"
+  | first :: rest ->
+      List.fold_left
+        (fun best p ->
+          if Plan.total_cost p < Plan.total_cost best then p else best)
+        first rest
+
+let finalize model card plan =
+  let q = Card.query card in
+  match q.Query.agg with
+  | None -> plan
+  | Some a ->
+      let groups = List.length a.Query.group_by in
+      let aggs = 1 + List.length a.Query.sum_cols in
+      let rows = Card.group_card card a.Query.group_by ~input:plan.Plan.rows in
+      cheapest
+        [
+          Plan.hash_agg model ~rows ~groups ~aggs plan;
+          Plan.stream_agg model ~rows ~groups ~aggs plan;
+        ]

@@ -1,0 +1,22 @@
+(** Implementation rules shared by every plan-search strategy (Cascades, DP,
+    greedy): the physical alternatives for a leaf access and for a join of
+    two subplans, and the final aggregation placement. Keeping them in one
+    place guarantees that all strategies search the same plan space, so an
+    exhaustive Cascades run and the DP baseline must agree on optimal
+    cost. *)
+
+(** Access paths for relation [i]: sequential scan, plus an index scan when
+    a filtered column has an index. *)
+val leaf_alternatives : Cost.model -> Card.t -> int -> Plan.t list
+
+(** Physical joins of two subplans (both hash orientations, both
+    nested-loop orientations, merge join). [rows] of the output is computed
+    from the union set. *)
+val join_alternatives : Cost.model -> Card.t -> Plan.t -> Plan.t -> Plan.t list
+
+(** Cheapest element of a nonempty list of alternatives. *)
+val cheapest : Plan.t list -> Plan.t
+
+(** Wrap the final aggregation (cheaper of hash vs stream aggregate) if the
+    query has one. *)
+val finalize : Cost.model -> Card.t -> Plan.t -> Plan.t

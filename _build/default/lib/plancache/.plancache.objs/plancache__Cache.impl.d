@@ -1,0 +1,1 @@
+lib/plancache/cache.ml: Dbmem Format Hashtbl Optimizer

@@ -1,0 +1,1 @@
+lib/plancache/cache.mli: Dbmem Format Optimizer

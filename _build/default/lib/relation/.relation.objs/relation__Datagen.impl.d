@@ -1,0 +1,1 @@
+lib/relation/datagen.ml: Array List Schema Sim Table Value

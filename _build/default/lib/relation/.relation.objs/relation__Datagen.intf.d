@@ -1,0 +1,1 @@
+lib/relation/datagen.mli: Schema Sim Table

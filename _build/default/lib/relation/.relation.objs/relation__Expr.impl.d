@@ -1,0 +1,1 @@
+lib/relation/expr.ml: Array Format Printf Schema Value

@@ -1,0 +1,113 @@
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+type arith = Add | Sub | Mul | Div
+
+type t =
+  | Col of int
+  | Const of Value.t
+  | Cmp of cmp * t * t
+  | Arith of arith * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let col schema name = Col (Schema.index_of schema name)
+let int n = Const (Value.Int n)
+let str s = Const (Value.String s)
+let ( =% ) a b = Cmp (Eq, a, b)
+let ( <% ) a b = Cmp (Lt, a, b)
+let ( <=% ) a b = Cmp (Le, a, b)
+let ( >% ) a b = Cmp (Gt, a, b)
+let ( >=% ) a b = Cmp (Ge, a, b)
+let ( &&% ) a b = And (a, b)
+let ( ||% ) a b = Or (a, b)
+
+let apply_cmp op a b =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> Value.Bool false
+  | _ ->
+      let c = Value.compare a b in
+      let r =
+        match op with
+        | Eq -> c = 0
+        | Ne -> c <> 0
+        | Lt -> c < 0
+        | Le -> c <= 0
+        | Gt -> c > 0
+        | Ge -> c >= 0
+      in
+      Value.Bool r
+
+let apply_arith op a b =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Int x, Value.Int y -> (
+      match op with
+      | Add -> Value.Int (x + y)
+      | Sub -> Value.Int (x - y)
+      | Mul -> Value.Int (x * y)
+      | Div -> if y = 0 then Value.Null else Value.Int (x / y))
+  | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) ->
+      let f = function
+        | Value.Int x -> float_of_int x
+        | Value.Float x -> x
+        | _ -> assert false
+      in
+      let x = f a and y = f b in
+      (match op with
+      | Add -> Value.Float (x +. y)
+      | Sub -> Value.Float (x -. y)
+      | Mul -> Value.Float (x *. y)
+      | Div -> if y = 0. then Value.Null else Value.Float (x /. y))
+  | _ -> invalid_arg "Expr: arithmetic on non-numeric values"
+
+let rec eval e tuple =
+  match e with
+  | Col i ->
+      if i < 0 || i >= Array.length tuple then
+        invalid_arg (Printf.sprintf "Expr: column %d out of range" i)
+      else tuple.(i)
+  | Const v -> v
+  | Cmp (op, a, b) -> apply_cmp op (eval a tuple) (eval b tuple)
+  | Arith (op, a, b) -> apply_arith op (eval a tuple) (eval b tuple)
+  | And (a, b) -> (
+      match eval a tuple with
+      | Value.Bool false -> Value.Bool false
+      | Value.Bool true -> eval b tuple
+      | _ -> invalid_arg "Expr: AND on non-boolean")
+  | Or (a, b) -> (
+      match eval a tuple with
+      | Value.Bool true -> Value.Bool true
+      | Value.Bool false -> eval b tuple
+      | _ -> invalid_arg "Expr: OR on non-boolean")
+  | Not a -> (
+      match eval a tuple with
+      | Value.Bool b -> Value.Bool (not b)
+      | _ -> invalid_arg "Expr: NOT on non-boolean")
+
+let eval_bool e tuple =
+  match eval e tuple with Value.Bool b -> b | _ -> false
+
+let rec shift n = function
+  | Col i -> Col (i + n)
+  | Const v -> Const v
+  | Cmp (op, a, b) -> Cmp (op, shift n a, shift n b)
+  | Arith (op, a, b) -> Arith (op, shift n a, shift n b)
+  | And (a, b) -> And (shift n a, shift n b)
+  | Or (a, b) -> Or (shift n a, shift n b)
+  | Not a -> Not (shift n a)
+
+let rec pp ppf = function
+  | Col i -> Format.fprintf ppf "$%d" i
+  | Const v -> Value.pp ppf v
+  | Cmp (op, a, b) ->
+      let s =
+        match op with
+        | Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+      in
+      Format.fprintf ppf "(%a %s %a)" pp a s pp b
+  | Arith (op, a, b) ->
+      let s = match op with Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" in
+      Format.fprintf ppf "(%a %s %a)" pp a s pp b
+  | And (a, b) -> Format.fprintf ppf "(%a AND %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a OR %a)" pp a pp b
+  | Not a -> Format.fprintf ppf "(NOT %a)" pp a

@@ -1,0 +1,39 @@
+(** Scalar expressions evaluated against a tuple. Column references are by
+    position (resolve names through {!Schema.index_of} at build time). *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+type arith = Add | Sub | Mul | Div
+
+type t =
+  | Col of int
+  | Const of Value.t
+  | Cmp of cmp * t * t
+  | Arith of arith * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val col : Schema.t -> string -> t
+val int : int -> t
+val str : string -> t
+val ( =% ) : t -> t -> t
+val ( <% ) : t -> t -> t
+val ( <=% ) : t -> t -> t
+val ( >% ) : t -> t -> t
+val ( >=% ) : t -> t -> t
+val ( &&% ) : t -> t -> t
+val ( ||% ) : t -> t -> t
+
+(** [eval e tuple]. Arithmetic on [Null] yields [Null]; comparisons against
+    [Null] yield [Bool false] (conservative filter semantics). Raises
+    [Invalid_argument] on type errors such as adding strings. *)
+val eval : t -> Tuple.t -> Value.t
+
+(** [eval_bool e tuple] is [true] iff [eval] returns [Bool true]. *)
+val eval_bool : t -> Tuple.t -> bool
+
+(** [shift n e] adds [n] to every column index (for re-rooting a predicate
+    onto the right side of a join output). *)
+val shift : int -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+type column = { cname : string; cty : Value.ty }
+type t = column array
+
+let make cols =
+  let names = List.map fst cols in
+  let distinct = List.sort_uniq String.compare names in
+  if List.length distinct <> List.length names then
+    invalid_arg "Schema.make: duplicate column names";
+  Array.of_list (List.map (fun (cname, cty) -> { cname; cty }) cols)
+
+let arity = Array.length
+let columns t = t
+let column t i = t.(i)
+
+let find_index t name =
+  let rec loop i =
+    if i >= Array.length t then None
+    else if t.(i).cname = name then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let index_of t name =
+  match find_index t name with Some i -> i | None -> raise Not_found
+
+let names t = Array.to_list (Array.map (fun c -> c.cname) t)
+
+let concat a b =
+  let taken = Hashtbl.create 16 in
+  Array.iter (fun c -> Hashtbl.replace taken c.cname ()) a;
+  let rename c =
+    let rec fresh name =
+      if Hashtbl.mem taken name then fresh (name ^ "_r") else name
+    in
+    let cname = fresh c.cname in
+    Hashtbl.replace taken cname ();
+    { c with cname }
+  in
+  Array.append a (Array.map rename b)
+
+let project t idxs = Array.of_list (List.map (fun i -> t.(i)) idxs)
+
+let qualify prefix t =
+  Array.map (fun c -> { c with cname = prefix ^ "." ^ c.cname }) t
+
+let equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> x.cname = y.cname && x.cty = y.cty) a b
+
+let pp ppf t =
+  Format.fprintf ppf "(";
+  Array.iteri
+    (fun i c ->
+      if i > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%s:%a" c.cname Value.pp_ty c.cty)
+    t;
+  Format.fprintf ppf ")"

@@ -1,0 +1,30 @@
+(** Relation schemas: ordered, named, typed columns. *)
+
+type column = { cname : string; cty : Value.ty }
+type t
+
+(** [make cols] — names must be distinct. *)
+val make : (string * Value.ty) list -> t
+
+val arity : t -> int
+val columns : t -> column array
+val column : t -> int -> column
+
+(** [index_of t name] raises [Not_found] for unknown names. *)
+val index_of : t -> string -> int
+
+val find_index : t -> string -> int option
+val names : t -> string list
+
+(** [concat a b] is the schema of a join output; duplicate names from [b]
+    are disambiguated with a ["_r"] suffix chain. *)
+val concat : t -> t -> t
+
+(** [project t idxs] keeps columns in the given order. *)
+val project : t -> int list -> t
+
+(** [qualify prefix t] renames every column to ["prefix.name"]. *)
+val qualify : string -> t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+type t = { tschema : Schema.t; trows : Tuple.t array }
+
+let of_array schema rows =
+  Array.iteri
+    (fun i r ->
+      if not (Tuple.conforms r schema) then
+        invalid_arg (Printf.sprintf "Table: row %d does not conform to schema" i))
+    rows;
+  { tschema = schema; trows = rows }
+
+let create schema rows = of_array schema (Array.of_list rows)
+let schema t = t.tschema
+let cardinality t = Array.length t.trows
+let rows t = t.trows
+let to_seq t = Array.to_seq t.trows
+let nth t i = t.trows.(i)
+
+let sorted_rows t =
+  let copy = Array.copy t.trows in
+  Array.sort Tuple.compare copy;
+  copy
+
+let equal_bag a b =
+  cardinality a = cardinality b
+  && Schema.arity a.tschema = Schema.arity b.tschema
+  &&
+  let ra = sorted_rows a and rb = sorted_rows b in
+  Array.for_all2 Tuple.equal ra rb
+
+let pp ?(max_rows = 20) ppf t =
+  Format.fprintf ppf "@[<v>%a (%d rows)@," Schema.pp t.tschema (cardinality t);
+  Array.iteri
+    (fun i r -> if i < max_rows then Format.fprintf ppf "  %a@," Tuple.pp r)
+    t.trows;
+  if cardinality t > max_rows then Format.fprintf ppf "  ...@,";
+  Format.fprintf ppf "@]"

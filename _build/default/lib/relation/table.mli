@@ -1,0 +1,21 @@
+(** In-memory materialised relation. *)
+
+type t
+
+(** [create schema rows] validates every row against the schema. *)
+val create : Schema.t -> Tuple.t list -> t
+
+val of_array : Schema.t -> Tuple.t array -> t
+val schema : t -> Schema.t
+val cardinality : t -> int
+val rows : t -> Tuple.t array
+val to_seq : t -> Tuple.t Seq.t
+val nth : t -> int -> Tuple.t
+
+(** Order-insensitive multiset equality (for comparing executor outputs). *)
+val equal_bag : t -> t -> bool
+
+(** Rows sorted with {!Tuple.compare} (canonical form for comparisons). *)
+val sorted_rows : t -> Tuple.t array
+
+val pp : ?max_rows:int -> Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+type t = Value.t array
+
+let arity = Array.length
+let get t i = t.(i)
+let concat = Array.append
+let project t idxs = Array.of_list (List.map (fun i -> t.(i)) idxs)
+
+let compare a b =
+  let n = min (Array.length a) (Array.length b) in
+  let rec loop i =
+    if i >= n then Stdlib.compare (Array.length a) (Array.length b)
+    else begin
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else loop (i + 1)
+    end
+  in
+  loop 0
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  Format.fprintf ppf "[";
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Format.fprintf ppf "; ";
+      Value.pp ppf v)
+    t;
+  Format.fprintf ppf "]"
+
+let conforms t schema =
+  Array.length t = Schema.arity schema
+  && begin
+       let ok = ref true in
+       Array.iteri
+         (fun i v ->
+           if not (Value.conforms v (Schema.column schema i).Schema.cty) then
+             ok := false)
+         t;
+       !ok
+     end

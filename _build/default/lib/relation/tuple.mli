@@ -1,0 +1,14 @@
+(** A row: a value per schema column. *)
+
+type t = Value.t array
+
+val arity : t -> int
+val get : t -> int -> Value.t
+val concat : t -> t -> t
+val project : t -> int list -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** [conforms tuple schema] checks arity and per-column types. *)
+val conforms : t -> Schema.t -> bool

@@ -1,0 +1,54 @@
+type t = Null | Int of int | Float of float | String of string | Bool of bool
+
+type ty = Tint | Tfloat | Tstring | Tbool
+
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | String _ -> 4
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Int x, Float y -> Stdlib.compare (float_of_int x) y
+  | Float x, Int y -> Stdlib.compare x (float_of_int y)
+  | String x, String y -> Stdlib.compare x y
+  | Bool x, Bool y -> Stdlib.compare x y
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 0
+  | Int x -> Hashtbl.hash x
+  | Float x -> Hashtbl.hash x
+  | String s -> Hashtbl.hash s
+  | Bool b -> Hashtbl.hash b
+
+let type_of = function
+  | Null -> None
+  | Int _ -> Some Tint
+  | Float _ -> Some Tfloat
+  | String _ -> Some Tstring
+  | Bool _ -> Some Tbool
+
+let conforms v ty = match type_of v with None -> true | Some t -> t = ty
+
+let pp ppf = function
+  | Null -> Format.pp_print_string ppf "NULL"
+  | Int x -> Format.pp_print_int ppf x
+  | Float x -> Format.fprintf ppf "%g" x
+  | String s -> Format.fprintf ppf "%S" s
+  | Bool b -> Format.pp_print_bool ppf b
+
+let pp_ty ppf = function
+  | Tint -> Format.pp_print_string ppf "int"
+  | Tfloat -> Format.pp_print_string ppf "float"
+  | Tstring -> Format.pp_print_string ppf "string"
+  | Tbool -> Format.pp_print_string ppf "bool"
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,23 @@
+(** Runtime values for the row-level relational kernel. *)
+
+type t = Null | Int of int | Float of float | String of string | Bool of bool
+
+type ty = Tint | Tfloat | Tstring | Tbool
+
+(** SQL-style three-valued logic is {e not} modelled: [Null] compares less
+    than everything else and equals itself, which is sufficient for the
+    synthetic workloads generated here. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** [type_of v] is [None] for [Null]. *)
+val type_of : t -> ty option
+
+(** [conforms v ty] — [Null] conforms to every type. *)
+val conforms : t -> ty -> bool
+
+val pp : Format.formatter -> t -> unit
+val pp_ty : Format.formatter -> ty -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/rowexec/operator.ml: Array Expr Format Hashtbl List Printf Relation Schema String Table Tuple Value

@@ -1,0 +1,1 @@
+lib/rowexec/operator.mli: Expr Format Relation Schema Table

@@ -1,0 +1,348 @@
+open Relation
+
+type agg_fn = Count | Sum of int | Min of int | Max of int | Avg of int
+
+type t =
+  | Scan of Table.t
+  | Filter of Expr.t * t
+  | Project of int list * t
+  | Nested_loop_join of Expr.t * t * t
+  | Hash_join of (int * int) list * t * t
+  | Merge_join of (int * int) list * t * t
+  | Sort of int list * t
+  | Hash_aggregate of int list * agg_fn list * t
+  | Stream_aggregate of int list * agg_fn list * t
+  | Limit of int * t
+
+(* ------------------------------------------------------------------ *)
+(* Schemas *)
+
+let agg_schema child_schema groups aggs =
+  let group_cols =
+    List.map
+      (fun i ->
+        let c = Schema.column child_schema i in
+        (c.Schema.cname, c.Schema.cty))
+      groups
+  in
+  let agg_col idx = function
+    | Count -> (Printf.sprintf "count_%d" idx, Value.Tint)
+    | Sum i ->
+        let c = Schema.column child_schema i in
+        (Printf.sprintf "sum_%s" c.Schema.cname, c.Schema.cty)
+    | Min i ->
+        let c = Schema.column child_schema i in
+        (Printf.sprintf "min_%s" c.Schema.cname, c.Schema.cty)
+    | Max i ->
+        let c = Schema.column child_schema i in
+        (Printf.sprintf "max_%s" c.Schema.cname, c.Schema.cty)
+    | Avg i ->
+        let c = Schema.column child_schema i in
+        (Printf.sprintf "avg_%s" c.Schema.cname, Value.Tfloat)
+  in
+  Schema.make (group_cols @ List.mapi agg_col aggs)
+
+let rec schema = function
+  | Scan tbl -> Table.schema tbl
+  | Filter (_, child) -> schema child
+  | Project (idxs, child) -> Schema.project (schema child) idxs
+  | Nested_loop_join (_, l, r) | Hash_join (_, l, r) | Merge_join (_, l, r) ->
+      Schema.concat (schema l) (schema r)
+  | Sort (_, child) -> schema child
+  | Hash_aggregate (groups, aggs, child) | Stream_aggregate (groups, aggs, child)
+    ->
+      agg_schema (schema child) groups aggs
+  | Limit (_, child) -> schema child
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate accumulators *)
+
+type acc = {
+  mutable count : int;
+  (* one slot per aggregate function *)
+  sums : float array;
+  mutable mins : Value.t array;
+  mutable maxs : Value.t array;
+  int_only : bool array; (* whether the sum has seen only ints *)
+}
+
+let make_acc naggs =
+  {
+    count = 0;
+    sums = Array.make naggs 0.;
+    mins = Array.make naggs Value.Null;
+    maxs = Array.make naggs Value.Null;
+    int_only = Array.make naggs true;
+  }
+
+let numeric v =
+  match v with
+  | Value.Int x -> float_of_int x
+  | Value.Float x -> x
+  | _ -> invalid_arg "aggregate over non-numeric column"
+
+let feed_acc acc aggs tuple =
+  acc.count <- acc.count + 1;
+  List.iteri
+    (fun k fn ->
+      match fn with
+      | Count -> ()
+      | Sum i | Avg i ->
+          let v = Tuple.get tuple i in
+          acc.sums.(k) <- acc.sums.(k) +. numeric v;
+          (match v with Value.Int _ -> () | _ -> acc.int_only.(k) <- false)
+      | Min i ->
+          let v = Tuple.get tuple i in
+          if acc.mins.(k) = Value.Null || Value.compare v acc.mins.(k) < 0 then
+            acc.mins.(k) <- v
+      | Max i ->
+          let v = Tuple.get tuple i in
+          if acc.maxs.(k) = Value.Null || Value.compare v acc.maxs.(k) > 0 then
+            acc.maxs.(k) <- v)
+    aggs
+
+let finish_acc acc aggs =
+  List.mapi
+    (fun k fn ->
+      match fn with
+      | Count -> Value.Int acc.count
+      | Sum _ ->
+          if acc.int_only.(k) then Value.Int (int_of_float acc.sums.(k))
+          else Value.Float acc.sums.(k)
+      | Avg _ ->
+          if acc.count = 0 then Value.Null
+          else Value.Float (acc.sums.(k) /. float_of_int acc.count)
+      | Min _ -> acc.mins.(k)
+      | Max _ -> acc.maxs.(k))
+    aggs
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+module Key_table = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash t = Array.fold_left (fun h v -> (h * 31) + Value.hash v) 17 t
+end)
+
+let sort_rows cols rows =
+  let cmp a b =
+    let rec loop = function
+      | [] -> 0
+      | i :: rest ->
+          let c = Value.compare (Tuple.get a i) (Tuple.get b i) in
+          if c <> 0 then c else loop rest
+    in
+    loop cols
+  in
+  let copy = Array.copy rows in
+  Array.stable_sort cmp copy;
+  copy
+
+let key_of cols tuple = Array.of_list (List.map (fun i -> Tuple.get tuple i) cols)
+
+let hash_join keys lrows rrows =
+  let lcols = List.map fst keys and rcols = List.map snd keys in
+  let index = Key_table.create (max 16 (Array.length rrows)) in
+  Array.iter
+    (fun r ->
+      let k = key_of rcols r in
+      (* Rows whose key contains NULL never match. *)
+      if not (Array.exists (fun v -> v = Value.Null) k) then
+        Key_table.replace index k (r :: (try Key_table.find index k with Not_found -> [])))
+    rrows;
+  let out = ref [] in
+  Array.iter
+    (fun l ->
+      let k = key_of lcols l in
+      if not (Array.exists (fun v -> v = Value.Null) k) then
+        match Key_table.find_opt index k with
+        | None -> ()
+        | Some matches ->
+            List.iter (fun r -> out := Tuple.concat l r :: !out) matches)
+    lrows;
+  Array.of_list (List.rev !out)
+
+let merge_join keys lrows rrows =
+  let lcols = List.map fst keys and rcols = List.map snd keys in
+  let lsorted = sort_rows lcols lrows and rsorted = sort_rows rcols rrows in
+  let compare_keys l r =
+    let rec loop ls rs =
+      match (ls, rs) with
+      | [], [] -> 0
+      | li :: lrest, ri :: rrest ->
+          let c = Value.compare (Tuple.get l li) (Tuple.get r ri) in
+          if c <> 0 then c else loop lrest rrest
+      | _ -> assert false
+    in
+    loop lcols rcols
+  in
+  let has_null cols row = List.exists (fun i -> Tuple.get row i = Value.Null) cols in
+  let nl = Array.length lsorted and nr = Array.length rsorted in
+  let out = ref [] in
+  let i = ref 0 and j = ref 0 in
+  while !i < nl && !j < nr do
+    if has_null lcols lsorted.(!i) then incr i
+    else if has_null rcols rsorted.(!j) then incr j
+    else begin
+      let c = compare_keys lsorted.(!i) rsorted.(!j) in
+      if c < 0 then incr i
+      else if c > 0 then incr j
+      else begin
+        (* Equal keys: find the runs on both sides and emit the product. *)
+        let i_end = ref (!i + 1) in
+        while
+          !i_end < nl && compare_keys lsorted.(!i_end) rsorted.(!j) = 0
+        do
+          incr i_end
+        done;
+        let j_end = ref (!j + 1) in
+        while
+          !j_end < nr && compare_keys lsorted.(!i) rsorted.(!j_end) = 0
+        do
+          incr j_end
+        done;
+        for a = !i to !i_end - 1 do
+          for b = !j to !j_end - 1 do
+            out := Tuple.concat lsorted.(a) rsorted.(b) :: !out
+          done
+        done;
+        i := !i_end;
+        j := !j_end
+      end
+    end
+  done;
+  Array.of_list (List.rev !out)
+
+let aggregate_hash groups aggs rows =
+  let table = Key_table.create 64 in
+  let order = ref [] in
+  Array.iter
+    (fun tuple ->
+      let k = key_of groups tuple in
+      let acc =
+        match Key_table.find_opt table k with
+        | Some acc -> acc
+        | None ->
+            let acc = make_acc (List.length aggs) in
+            Key_table.add table k acc;
+            order := k :: !order;
+            acc
+      in
+      feed_acc acc aggs tuple)
+    rows;
+  if groups = [] && Key_table.length table = 0 then begin
+    (* Scalar aggregate over the empty input still yields one row. *)
+    let acc = make_acc (List.length aggs) in
+    [| Array.of_list (finish_acc acc aggs) |]
+  end
+  else
+    Array.of_list
+      (List.rev_map
+         (fun k ->
+           let acc = Key_table.find table k in
+           Array.append k (Array.of_list (finish_acc acc aggs)))
+         !order)
+
+let aggregate_stream groups aggs rows =
+  (* Input must arrive sorted on the group columns: group boundaries are
+     detected by key change. *)
+  let out = ref [] in
+  let current_key = ref None in
+  let acc = ref (make_acc (List.length aggs)) in
+  let flush () =
+    match !current_key with
+    | None -> ()
+    | Some k -> out := Array.append k (Array.of_list (finish_acc !acc aggs)) :: !out
+  in
+  Array.iter
+    (fun tuple ->
+      let k = key_of groups tuple in
+      (match !current_key with
+      | Some prev when Tuple.equal prev k -> ()
+      | _ ->
+          flush ();
+          current_key := Some k;
+          acc := make_acc (List.length aggs));
+      feed_acc !acc aggs tuple)
+    rows;
+  flush ();
+  if groups = [] && !out = [] then begin
+    let acc = make_acc (List.length aggs) in
+    [| Array.of_list (finish_acc acc aggs) |]
+  end
+  else Array.of_list (List.rev !out)
+
+let rec run op =
+  match op with
+  | Scan tbl -> Table.rows tbl
+  | Filter (pred, child) ->
+      let rows = run child in
+      Array.of_list
+        (Array.to_list rows |> List.filter (fun r -> Expr.eval_bool pred r))
+  | Project (idxs, child) ->
+      Array.map (fun r -> Tuple.project r idxs) (run child)
+  | Nested_loop_join (pred, l, r) ->
+      let lrows = run l and rrows = run r in
+      let out = ref [] in
+      Array.iter
+        (fun lrow ->
+          Array.iter
+            (fun rrow ->
+              let joined = Tuple.concat lrow rrow in
+              if Expr.eval_bool pred joined then out := joined :: !out)
+            rrows)
+        lrows;
+      Array.of_list (List.rev !out)
+  | Hash_join (keys, l, r) -> hash_join keys (run l) (run r)
+  | Merge_join (keys, l, r) -> merge_join keys (run l) (run r)
+  | Sort (cols, child) -> sort_rows cols (run child)
+  | Hash_aggregate (groups, aggs, child) -> aggregate_hash groups aggs (run child)
+  | Stream_aggregate (groups, aggs, child) ->
+      aggregate_stream groups aggs (run child)
+  | Limit (n, child) ->
+      let rows = run child in
+      if Array.length rows <= n then rows else Array.sub rows 0 n
+
+let execute op = Table.of_array (schema op) (run op)
+
+let rec size = function
+  | Scan _ -> 1
+  | Filter (_, c) | Project (_, c) | Sort (_, c) | Limit (_, c) -> 1 + size c
+  | Hash_aggregate (_, _, c) | Stream_aggregate (_, _, c) -> 1 + size c
+  | Nested_loop_join (_, l, r) | Hash_join (_, l, r) | Merge_join (_, l, r) ->
+      1 + size l + size r
+
+let rec pp ppf op =
+  let open Format in
+  match op with
+  | Scan tbl -> fprintf ppf "Scan(%d rows)" (Table.cardinality tbl)
+  | Filter (e, c) -> fprintf ppf "@[<v 2>Filter %a@,%a@]" Expr.pp e pp c
+  | Project (idxs, c) ->
+      fprintf ppf "@[<v 2>Project [%s]@,%a@]"
+        (String.concat ";" (List.map string_of_int idxs))
+        pp c
+  | Nested_loop_join (e, l, r) ->
+      fprintf ppf "@[<v 2>NLJoin %a@,%a@,%a@]" Expr.pp e pp l pp r
+  | Hash_join (keys, l, r) ->
+      fprintf ppf "@[<v 2>HashJoin %s@,%a@,%a@]"
+        (String.concat ","
+           (List.map (fun (a, b) -> Printf.sprintf "%d=%d" a b) keys))
+        pp l pp r
+  | Merge_join (keys, l, r) ->
+      fprintf ppf "@[<v 2>MergeJoin %s@,%a@,%a@]"
+        (String.concat ","
+           (List.map (fun (a, b) -> Printf.sprintf "%d=%d" a b) keys))
+        pp l pp r
+  | Sort (cols, c) ->
+      fprintf ppf "@[<v 2>Sort [%s]@,%a@]"
+        (String.concat ";" (List.map string_of_int cols))
+        pp c
+  | Hash_aggregate (groups, aggs, c) ->
+      fprintf ppf "@[<v 2>HashAgg groups=%d aggs=%d@,%a@]" (List.length groups)
+        (List.length aggs) pp c
+  | Stream_aggregate (groups, aggs, c) ->
+      fprintf ppf "@[<v 2>StreamAgg groups=%d aggs=%d@,%a@]"
+        (List.length groups) (List.length aggs) pp c
+  | Limit (n, c) -> fprintf ppf "@[<v 2>Limit %d@,%a@]" n pp c

@@ -1,0 +1,1 @@
+lib/server/config.ml: Bufpool Dbmem Execsim Format Optimizer Qcore

@@ -1,0 +1,1 @@
+lib/server/config.mli: Bufpool Execsim Format Optimizer Qcore

@@ -1,0 +1,1 @@
+lib/server/dbms.ml: Bufpool Config Dbmem Execsim Fun Metrics Optimizer Plancache Qcore Sim

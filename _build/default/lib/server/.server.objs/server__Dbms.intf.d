@@ -1,0 +1,1 @@
+lib/server/dbms.mli: Bufpool Config Dbmem Execsim Metrics Optimizer Plancache Qcore Sim

@@ -1,0 +1,1 @@
+lib/server/experiment.ml: Array Bufpool Config Dbmem Dbms Execsim Format List Metrics Plancache Printexc Printf Sim Workload

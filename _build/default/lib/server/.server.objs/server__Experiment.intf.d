@@ -1,0 +1,1 @@
+lib/server/experiment.mli: Config Format Optimizer Sim Workload

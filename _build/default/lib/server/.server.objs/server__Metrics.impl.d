@@ -1,0 +1,1 @@
+lib/server/metrics.ml: Array Dbmem Format List Sim

@@ -1,0 +1,1 @@
+lib/server/metrics.mli: Dbmem Format Sim

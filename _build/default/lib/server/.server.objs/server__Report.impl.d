@@ -1,0 +1,1 @@
+lib/server/report.ml: Array Buffer Dbmem Experiment Float List Printf String

@@ -1,0 +1,1 @@
+lib/server/report.mli: Experiment

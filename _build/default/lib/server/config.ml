@@ -1,0 +1,70 @@
+type t = {
+  cpus : int;
+  memory_bytes : int;
+  page_bytes : int;
+  disk_spindles : int;
+  disk_seek_s : float;
+  disk_throughput : float;
+  pool_policy : Bufpool.Policy.kind;
+  throttle : Qcore.Throttle_config.t;
+  throttle_enabled : bool;
+  broker : Qcore.Broker.config;
+  optimizer_params : Optimizer.Cascades.params;
+  cost_model : Optimizer.Cost.model;
+  exec_config : Execsim.Runner.config;
+  workspace_frac : float;
+  grant_max_query_frac : float;
+  grant_timeout : float;
+  min_pool_bytes : int;
+  min_workspace_bytes : int;
+  metrics_interval : float;
+  seed : int;
+}
+
+let default () =
+  {
+    cpus = 8;
+    memory_bytes = Dbmem.Units.gib 4;
+    page_bytes = Dbmem.Units.mib 4;
+    disk_spindles = 8;
+    disk_seek_s = 0.008;
+    (* 8 spindles x 40 MB/s ~ a 2-channel Ultra3 SCSI RAID-0 of the era. *)
+    disk_throughput = 40. *. 1024. *. 1024.;
+    pool_policy = Bufpool.Policy.Lru2;
+    throttle = Qcore.Throttle_config.default ();
+    throttle_enabled = true;
+    broker = Qcore.Broker.default_config;
+    optimizer_params = Optimizer.Cascades.default_params;
+    cost_model = Optimizer.Cost.default;
+    exec_config = Execsim.Runner.default_config;
+    workspace_frac = 0.45;
+    grant_max_query_frac = 0.08;
+    grant_timeout = 600.;
+    min_pool_bytes = Dbmem.Units.mib 256;
+    min_workspace_bytes = Dbmem.Units.mib 256;
+    metrics_interval = 5.0;
+    seed = 42;
+  }
+
+let unthrottled () =
+  let base = default () in
+  {
+    base with
+    throttle_enabled = false;
+    optimizer_params =
+      {
+        base.optimizer_params with
+        Optimizer.Cascades.honor_stop_early = false;
+      };
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>server: %d cpus, %a memory, %d spindles @ %.0f MB/s, pool granule %a@,throttle %s (%s)@,%a@]"
+    t.cpus Dbmem.Units.pp_bytes t.memory_bytes t.disk_spindles
+    (t.disk_throughput /. (1024. *. 1024.))
+    Dbmem.Units.pp_bytes t.page_bytes
+    (if t.throttle_enabled then "ON" else "OFF")
+    (if t.throttle.Qcore.Throttle_config.dynamic then "dynamic thresholds"
+     else "static thresholds")
+    Qcore.Throttle_config.pp t.throttle

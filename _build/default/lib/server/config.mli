@@ -1,0 +1,32 @@
+(** Server configuration. {!default} models the paper's testbed: 8 CPUs,
+    4 GB of memory, 8 SCSI disks in RAID-0 (§5.2). *)
+
+type t = {
+  cpus : int;
+  memory_bytes : int;
+  page_bytes : int;  (** buffer-pool granule *)
+  disk_spindles : int;
+  disk_seek_s : float;
+  disk_throughput : float;  (** bytes/second per spindle *)
+  pool_policy : Bufpool.Policy.kind;
+  throttle : Qcore.Throttle_config.t;
+  throttle_enabled : bool;
+  broker : Qcore.Broker.config;
+  optimizer_params : Optimizer.Cascades.params;
+  cost_model : Optimizer.Cost.model;
+  exec_config : Execsim.Runner.config;
+  workspace_frac : float;  (** fraction of memory for execution grants *)
+  grant_max_query_frac : float;
+  grant_timeout : float;
+  min_pool_bytes : int;  (** broker floor for the buffer pool *)
+  min_workspace_bytes : int;  (** broker floor / clamp for grants *)
+  metrics_interval : float;  (** memory sampling period *)
+  seed : int;
+}
+
+val default : unit -> t
+
+(** [default] with throttling disabled (the paper's baseline lines). *)
+val unthrottled : unit -> t
+
+val pp : Format.formatter -> t -> unit

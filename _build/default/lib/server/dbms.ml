@@ -1,0 +1,222 @@
+type t = {
+  eng : Sim.Engine.t;
+  cfg : Config.t;
+  cat : Optimizer.Catalog.t;
+  manager : Dbmem.Manager.t;
+  broker : Qcore.Broker.t;
+  gov : Qcore.Compile_gov.t;
+  pool : Bufpool.Pool.t;
+  disk : Bufpool.Disk.t;
+  cache : Plancache.Cache.t;
+  grants : Execsim.Grant.t;
+  cpu : Execsim.Cpu.t;
+  metrics : Metrics.t;
+  exec_resources : Execsim.Runner.resources;
+  clerk_list : (string * Dbmem.Manager.clerk) list;
+}
+
+let create eng cfg cat =
+  let manager = Dbmem.Manager.create ~total:cfg.Config.memory_bytes () in
+  let pool_clerk = Dbmem.Manager.create_clerk manager "bufpool" in
+  let cache_clerk = Dbmem.Manager.create_clerk manager "plancache" in
+  let compile_clerk = Dbmem.Manager.create_clerk manager "compile" in
+  let exec_clerk = Dbmem.Manager.create_clerk manager "execution" in
+  let disk =
+    Bufpool.Disk.create eng ~spindles:cfg.Config.disk_spindles
+      ~seek_s:cfg.Config.disk_seek_s
+      ~throughput_bytes_per_s:cfg.Config.disk_throughput
+  in
+  let pool =
+    Bufpool.Pool.create eng manager ~clerk:pool_clerk ~disk
+      ~page_bytes:cfg.Config.page_bytes ~policy:cfg.Config.pool_policy
+  in
+  let cache = Plancache.Cache.create manager ~clerk:cache_clerk in
+  let workspace =
+    int_of_float (cfg.Config.workspace_frac *. float_of_int cfg.Config.memory_bytes)
+  in
+  let grants =
+    Execsim.Grant.create eng manager ~clerk:exec_clerk ~total:workspace
+      ~max_query_frac:cfg.Config.grant_max_query_frac
+      ~timeout:cfg.Config.grant_timeout ()
+  in
+  let cpu = Execsim.Cpu.create eng ~cores:cfg.Config.cpus () in
+  let gov =
+    Qcore.Compile_gov.create eng manager ~clerk:compile_clerk
+      ~cpus:cfg.Config.cpus ~config:cfg.Config.throttle
+      ~enabled:cfg.Config.throttle_enabled ()
+  in
+  (* Caches donate under manager pressure: plan cache first, pool second. *)
+  Dbmem.Manager.register_donor manager ~clerk:cache_clerk ~priority:0
+    ~shrink:(fun n -> Plancache.Cache.shrink cache n);
+  Dbmem.Manager.register_donor manager ~clerk:pool_clerk ~priority:1
+    ~shrink:(fun n -> Bufpool.Pool.shrink pool n);
+  (* Broker components and their reactions to verdicts. *)
+  let broker = Qcore.Broker.create eng manager cfg.Config.broker in
+  let _pool_comp =
+    Qcore.Broker.register broker ~name:"bufpool" ~clerk:pool_clerk ~weight:1.5
+      ~min_bytes:cfg.Config.min_pool_bytes
+      ~demand:(fun () -> Bufpool.Pool.demand_hint pool)
+      ~notify:(fun n ->
+        match n.Qcore.Broker.verdict with
+        | Qcore.Broker.Must_shrink ->
+            ignore (Bufpool.Pool.shrink_to pool n.Qcore.Broker.target)
+        | Qcore.Broker.Hold_rate | Qcore.Broker.Can_grow -> ())
+      ()
+  in
+  let _cache_comp =
+    Qcore.Broker.register broker ~name:"plancache" ~clerk:cache_clerk ~weight:0.3
+      ~notify:(fun n ->
+        match n.Qcore.Broker.verdict with
+        | Qcore.Broker.Must_shrink ->
+            let excess = Plancache.Cache.bytes cache - n.Qcore.Broker.target in
+            if excess > 0 then ignore (Plancache.Cache.shrink cache excess)
+        | Qcore.Broker.Hold_rate | Qcore.Broker.Can_grow -> ())
+      ()
+  in
+  let _compile_comp =
+    Qcore.Broker.register broker ~name:"compile" ~clerk:compile_clerk ~weight:0.6
+      ~min_bytes:(Dbmem.Units.mib 512)
+      ~notify:(fun n -> Qcore.Compile_gov.on_notification gov n)
+      ()
+  in
+  (* Execution memory is registered for accounting and target computation,
+     but the resource semaphore keeps its static size: shrinking it under a
+     queued large request would strand the queue head (grants are trimmed
+     per query and spill instead). *)
+  let _exec_comp =
+    Qcore.Broker.register broker ~name:"execution" ~clerk:exec_clerk ~weight:1.2
+      ~min_bytes:cfg.Config.min_workspace_bytes ()
+  in
+  let metrics = Metrics.create eng in
+  let exec_resources =
+    {
+      Execsim.Runner.eng;
+      cpu;
+      pool;
+      disk;
+      grants;
+      rng = Sim.Rng.split (Sim.Engine.rng eng);
+    }
+  in
+  {
+    eng;
+    cfg;
+    cat;
+    manager;
+    broker;
+    gov;
+    pool;
+    disk;
+    cache;
+    grants;
+    cpu;
+    metrics;
+    exec_resources;
+    clerk_list =
+      [
+        ("bufpool", pool_clerk);
+        ("plancache", cache_clerk);
+        ("compile", compile_clerk);
+        ("execution", exec_clerk);
+      ];
+  }
+
+let start t =
+  Qcore.Broker.start t.broker;
+  Metrics.watch_memory t.metrics ~interval:t.cfg.Config.metrics_interval t.clerk_list
+
+(* Governed compilation: the Cascades environment reports allocations to
+   the governor (which may block at gateways or fail), burns CPU on the
+   shared pool, and asks the governor whether the broker predicts compile-
+   memory exhaustion. *)
+let compile t q =
+  let session = Qcore.Compile_gov.begin_compile t.gov in
+  let env =
+    {
+      Optimizer.Env.alloc =
+        (fun n ->
+          match Qcore.Compile_gov.alloc session n with
+          | Ok () -> ()
+          | Error (Qcore.Compile_gov.Gateway_timeout m) ->
+              raise (Optimizer.Env.Aborted (Optimizer.Env.Gateway_timeout m))
+          | Error Qcore.Compile_gov.Out_of_memory ->
+              raise (Optimizer.Env.Aborted Optimizer.Env.Out_of_memory));
+      cpu = (fun s -> Execsim.Cpu.busy t.cpu s);
+      should_stop = (fun () -> Qcore.Compile_gov.should_stop_early t.gov);
+    }
+  in
+  let started = Sim.Engine.now t.eng in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        Metrics.record_compile_peak t.metrics (Qcore.Compile_gov.peak session);
+        Qcore.Compile_gov.end_compile session)
+      (fun () ->
+        Optimizer.Cascades.optimize ~params:t.cfg.Config.optimizer_params ~env
+          t.cfg.Config.cost_model t.cat q)
+  in
+  match result with
+  | Ok r ->
+      let elapsed = Sim.Engine.now t.eng -. started in
+      Ok (r, elapsed)
+  | Error reason -> Error reason
+
+let submit t q =
+  let compile_result =
+    match Plancache.Cache.lookup t.cache q.Optimizer.Query.qid with
+    | Some plan ->
+        Metrics.record_cache_hit t.metrics;
+        Ok (plan, 0.)
+    | None -> (
+        match compile t q with
+        | Ok (r, elapsed) ->
+            let compile_cost =
+              float_of_int r.Optimizer.Cascades.stats.Optimizer.Cascades.tasks
+              *. t.cfg.Config.optimizer_params.Optimizer.Cascades.task_cpu
+            in
+            Plancache.Cache.insert t.cache ~key:q.Optimizer.Query.qid
+              ~plan:r.Optimizer.Cascades.plan ~compile_cost;
+            Ok (r.Optimizer.Cascades.plan, elapsed)
+        | Error Optimizer.Env.Out_of_memory ->
+            Metrics.record_error t.metrics Metrics.Compile_oom;
+            Error Metrics.Compile_oom
+        | Error (Optimizer.Env.Gateway_timeout _) ->
+            Metrics.record_error t.metrics Metrics.Gateway_timeout;
+            Error Metrics.Gateway_timeout
+        | Error Optimizer.Env.Cancelled ->
+            Metrics.record_error t.metrics Metrics.Compile_oom;
+            Error Metrics.Compile_oom)
+  in
+  match compile_result with
+  | Error e -> Error e
+  | Ok (plan, compile_s) -> (
+      match Execsim.Runner.run t.exec_resources t.cfg.Config.exec_config plan with
+      | Ok outcome ->
+          Metrics.record_completion t.metrics ~compile_s
+            ~exec_s:outcome.Execsim.Runner.duration;
+          Ok ()
+      | Error `Grant_timeout ->
+          Metrics.record_error t.metrics Metrics.Grant_timeout;
+          Error Metrics.Grant_timeout
+      | Error `Out_of_memory ->
+          Metrics.record_error t.metrics Metrics.Exec_oom;
+          Error Metrics.Exec_oom)
+
+let submit_catch t q =
+  match submit t q with
+  | Ok () -> Ok ()
+  | Error e -> Error (Metrics.error_kind_name e)
+
+let engine t = t.eng
+let config t = t.cfg
+let metrics t = t.metrics
+let manager t = t.manager
+let broker t = t.broker
+let governor t = t.gov
+let pool t = t.pool
+let disk t = t.disk
+let plan_cache t = t.cache
+let grants t = t.grants
+let cpu t = t.cpu
+let catalog t = t.cat
+let clerks t = t.clerk_list

@@ -1,0 +1,40 @@
+(** The assembled DBMS: memory manager and broker, compile governor and
+    optimizer, plan cache, buffer pool, execution grants and CPU pool,
+    wired exactly as §3-4 describe.
+
+    {!submit} is the whole life of a query — plan-cache probe, governed
+    compilation, grant acquisition, simulated execution — and must be
+    called from a simulation process (it blocks at gateways, grants, CPUs
+    and the disk). *)
+
+type t
+
+val create : Sim.Engine.t -> Config.t -> Optimizer.Catalog.t -> t
+
+(** Start the broker ticks and memory sampling. *)
+val start : t -> unit
+
+(** Process-blocking end-to-end query execution. *)
+val submit : t -> Optimizer.Query.t -> (unit, Metrics.error_kind) result
+
+(** {!submit} with the error rendered as a string (client callback form). *)
+val submit_catch : t -> Optimizer.Query.t -> (unit, string) result
+
+(** {1 Component access (metrics, tests, benches)} *)
+
+val engine : t -> Sim.Engine.t
+val config : t -> Config.t
+val metrics : t -> Metrics.t
+val manager : t -> Dbmem.Manager.t
+val broker : t -> Qcore.Broker.t
+val governor : t -> Qcore.Compile_gov.t
+val pool : t -> Bufpool.Pool.t
+val disk : t -> Bufpool.Disk.t
+val plan_cache : t -> Plancache.Cache.t
+val grants : t -> Execsim.Grant.t
+val cpu : t -> Execsim.Cpu.t
+val catalog : t -> Optimizer.Catalog.t
+
+(** Memory clerks by component name
+    (["bufpool"; "plancache"; "compile"; "execution"]). *)
+val clerks : t -> (string * Dbmem.Manager.clerk) list

@@ -1,0 +1,113 @@
+type result = {
+  clients : int;
+  throttled : bool;
+  warmup : float;
+  measure : float;
+  slice : float;
+  slices : (float * float) array;
+  mean_per_slice : float;
+  total_completed : int;
+  total_errors : int;
+  errors : (string * int) list;
+  client_stats : Workload.Client.stats;
+  compile_mean_s : float;
+  compile_max_s : float;
+  exec_mean_s : float;
+  exec_max_s : float;
+  compile_peak_mean : float;
+  compile_peak_max : float;
+  pool_hit_rate : float;
+  cache_hit_rate : float;
+  cpu_utilization : float;
+  memory_series : (string * Sim.Series.t) list;
+}
+
+let run ?config ?client_config ?catalog ?templates ?seed ~clients ~warmup
+    ~measure ~slice () =
+  let cfg = match config with Some c -> c | None -> Config.default () in
+  let cfg = match seed with Some s -> { cfg with Config.seed = s } | None -> cfg in
+  let client_config =
+    match client_config with
+    | Some c -> c
+    | None -> Workload.Client.default_config
+  in
+  let cat = match catalog with Some c -> c | None -> Workload.Sales.catalog () in
+  let templates =
+    match templates with Some t -> t | None -> Workload.Sales.templates ()
+  in
+  let eng = Sim.Engine.create ~seed:cfg.Config.seed () in
+  let dbms = Dbms.create eng cfg cat in
+  Dbms.start dbms;
+  let stats = Workload.Client.make_stats () in
+  let ids = ref 0 in
+  let stop = warmup +. measure in
+  let client_rng = Sim.Rng.split (Sim.Engine.rng eng) in
+  for i = 1 to clients do
+    Workload.Client.spawn eng client_rng
+      ~name:(Printf.sprintf "client-%d" i)
+      ~templates
+      ~submit:(fun q -> Dbms.submit_catch dbms q)
+      ~config:client_config ~stats ~ids ~until:stop
+  done;
+  Sim.Engine.run eng ~until:stop;
+  (match Sim.Engine.failures eng with
+  | [] -> ()
+  | (name, exn, time) :: _ as fs ->
+      failwith
+        (Printf.sprintf "simulation process failures (%d), first: %s at %.1f: %s"
+           (List.length fs) name time (Printexc.to_string exn)));
+  let metrics = Dbms.metrics dbms in
+  let slices = Metrics.throughput metrics ~start:warmup ~stop ~width:slice in
+  let total_completed = Metrics.total_completions metrics ~since:warmup () in
+  let mean_per_slice =
+    if Array.length slices = 0 then 0.
+    else
+      Array.fold_left (fun acc (_, v) -> acc +. v) 0. slices
+      /. float_of_int (Array.length slices)
+  in
+  let ct = Metrics.compile_time metrics and et = Metrics.exec_time metrics in
+  let peak = Metrics.compile_peak metrics in
+  let safe f s = if Sim.Stats.Online.count s = 0 then 0. else f s in
+  {
+    clients;
+    throttled = cfg.Config.throttle_enabled;
+    warmup;
+    measure;
+    slice;
+    slices;
+    mean_per_slice;
+    total_completed;
+    total_errors = Metrics.total_errors metrics;
+    errors =
+      List.map (fun (k, n) -> (Metrics.error_kind_name k, n)) (Metrics.errors metrics);
+    client_stats = stats;
+    compile_mean_s = safe Sim.Stats.Online.mean ct;
+    compile_max_s = safe Sim.Stats.Online.max ct;
+    exec_mean_s = safe Sim.Stats.Online.mean et;
+    exec_max_s = safe Sim.Stats.Online.max et;
+    compile_peak_mean = safe Sim.Stats.Online.mean peak;
+    compile_peak_max = safe Sim.Stats.Online.max peak;
+    pool_hit_rate = Bufpool.Pool.hit_rate (Dbms.pool dbms);
+    cache_hit_rate = Plancache.Cache.hit_rate (Dbms.plan_cache dbms);
+    cpu_utilization = Execsim.Cpu.utilization (Dbms.cpu dbms);
+    memory_series = Metrics.memory_series metrics;
+  }
+
+let uplift a b =
+  if b.mean_per_slice <= 0. then nan
+  else (a.mean_per_slice -. b.mean_per_slice) /. b.mean_per_slice
+
+let pp_summary ppf r =
+  Format.fprintf ppf
+    "@[<v>%d clients, throttling %s: %.1f completions/slice (%d total, %d errors)@,\
+     compile %.1fs mean / %.1fs max; exec %.1fs mean / %.1fs max@,\
+     compile peak %s mean / %s max; pool hit %.1f%%; cache hit %.1f%%; cpu %.2f@]"
+    r.clients
+    (if r.throttled then "ON" else "OFF")
+    r.mean_per_slice r.total_completed r.total_errors r.compile_mean_s
+    r.compile_max_s r.exec_mean_s r.exec_max_s
+    (Dbmem.Units.bytes_to_string (int_of_float r.compile_peak_mean))
+    (Dbmem.Units.bytes_to_string (int_of_float r.compile_peak_max))
+    (100. *. r.pool_hit_rate)
+    (100. *. r.cache_hit_rate)
+    r.cpu_utilization

@@ -1,0 +1,50 @@
+(** End-to-end experiment runner: build a server, load it with concurrent
+    clients for a warm-up plus a measured window, and collect the series
+    and summary numbers the paper's figures report. The warm-up period is
+    excluded from all results, as in §5.2. *)
+
+type result = {
+  clients : int;
+  throttled : bool;
+  warmup : float;
+  measure : float;
+  slice : float;
+  slices : (float * float) array;  (** completions per time slice *)
+  mean_per_slice : float;
+  total_completed : int;  (** within the measured window *)
+  total_errors : int;
+  errors : (string * int) list;
+  client_stats : Workload.Client.stats;
+  compile_mean_s : float;
+  compile_max_s : float;
+  exec_mean_s : float;
+  exec_max_s : float;
+  compile_peak_mean : float;  (** bytes *)
+  compile_peak_max : float;
+  pool_hit_rate : float;
+  cache_hit_rate : float;
+  cpu_utilization : float;
+  memory_series : (string * Sim.Series.t) list;
+}
+
+(** [run ?config ?client_config ?catalog ?templates ?seed ~clients ~warmup
+    ~measure ~slice ()] — defaults: the SALES benchmark on the paper's
+    server. Raises [Failure] if any simulation process died (model bug). *)
+val run :
+  ?config:Config.t ->
+  ?client_config:Workload.Client.config ->
+  ?catalog:Optimizer.Catalog.t ->
+  ?templates:Workload.Template.t list ->
+  ?seed:int ->
+  clients:int ->
+  warmup:float ->
+  measure:float ->
+  slice:float ->
+  unit ->
+  result
+
+(** Relative throughput uplift of [a] over [b] (e.g. throttled over
+    unthrottled), from mean completions per slice. *)
+val uplift : result -> result -> float
+
+val pp_summary : Format.formatter -> result -> unit

@@ -1,0 +1,82 @@
+type error_kind = Gateway_timeout | Compile_oom | Grant_timeout | Exec_oom
+
+let error_kinds = [ Gateway_timeout; Compile_oom; Grant_timeout; Exec_oom ]
+
+let error_kind_name = function
+  | Gateway_timeout -> "gateway-timeout"
+  | Compile_oom -> "compile-oom"
+  | Grant_timeout -> "grant-timeout"
+  | Exec_oom -> "exec-oom"
+
+type t = {
+  eng : Sim.Engine.t;
+  completions : Sim.Series.t;
+  mutable error_counts : (error_kind * int ref) list;
+  compile_time : Sim.Stats.Online.t;
+  exec_time : Sim.Stats.Online.t;
+  compile_peak : Sim.Stats.Online.t;
+  mutable cache_hits : int;
+  mutable memory : (string * Sim.Series.t) list;
+}
+
+let create eng =
+  {
+    eng;
+    completions = Sim.Series.create ~name:"completions" ();
+    error_counts = List.map (fun k -> (k, ref 0)) error_kinds;
+    compile_time = Sim.Stats.Online.create ();
+    exec_time = Sim.Stats.Online.create ();
+    compile_peak = Sim.Stats.Online.create ();
+    cache_hits = 0;
+    memory = [];
+  }
+
+let record_completion t ~compile_s ~exec_s =
+  Sim.Series.add t.completions ~time:(Sim.Engine.now t.eng) 1.;
+  Sim.Stats.Online.add t.compile_time compile_s;
+  Sim.Stats.Online.add t.exec_time exec_s
+
+let record_error t kind = incr (List.assoc kind t.error_counts)
+let record_compile_peak t bytes = Sim.Stats.Online.add t.compile_peak (float_of_int bytes)
+let record_cache_hit t = t.cache_hits <- t.cache_hits + 1
+
+let watch_memory t ~interval clerks =
+  let series =
+    List.map (fun (name, _) -> (name, Sim.Series.create ~name ())) clerks
+  in
+  t.memory <- t.memory @ series;
+  ignore
+    (Sim.Engine.every t.eng ~interval (fun () ->
+         let now = Sim.Engine.now t.eng in
+         List.iter
+           (fun (name, clerk) ->
+             let s = List.assoc name series in
+             Sim.Series.add s ~time:now
+               (float_of_int (Dbmem.Manager.clerk_used clerk)))
+           clerks))
+
+let completions t = t.completions
+
+let throughput t ~start ~stop ~width =
+  Sim.Series.bucket_sum t.completions ~start ~stop ~width
+
+let total_completions t ?(since = 0.) () =
+  Array.length (Sim.Series.values_between t.completions ~start:since ~stop:infinity)
+
+let errors t = List.map (fun (k, r) -> (k, !r)) t.error_counts
+let error_count t kind = !(List.assoc kind t.error_counts)
+let total_errors t = List.fold_left (fun acc (_, r) -> acc + !r) 0 t.error_counts
+let cache_hits t = t.cache_hits
+let compile_time t = t.compile_time
+let exec_time t = t.exec_time
+let compile_peak t = t.compile_peak
+let memory_series t = t.memory
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>completions: %d@," (Sim.Series.length t.completions);
+  List.iter
+    (fun (k, n) -> if n > 0 then Format.fprintf ppf "%s: %d@," (error_kind_name k) n)
+    (errors t);
+  Format.fprintf ppf "compile time: %a@," Sim.Stats.Online.pp t.compile_time;
+  Format.fprintf ppf "exec time: %a@," Sim.Stats.Online.pp t.exec_time;
+  Format.fprintf ppf "compile peak mem: %a@]" Sim.Stats.Online.pp t.compile_peak

@@ -1,0 +1,51 @@
+(** Server-wide measurement: everything the paper's evaluation reports.
+
+    Successful completions are an event series later bucketed into
+    completions-per-time-slice (Figures 3-5); errors are counted by kind
+    (the reliability discussion); compile/execute durations and compile
+    memory peaks feed the in-text claims; per-clerk memory is sampled
+    periodically for the Figure-2-style memory traces. *)
+
+type error_kind =
+  | Gateway_timeout
+  | Compile_oom
+  | Grant_timeout
+  | Exec_oom
+
+type t
+
+val create : Sim.Engine.t -> t
+
+(** Record one successful query completion (now). *)
+val record_completion : t -> compile_s:float -> exec_s:float -> unit
+
+val record_error : t -> error_kind -> unit
+val record_compile_peak : t -> int -> unit
+val record_cache_hit : t -> unit
+
+(** Start sampling the given clerks every [interval] seconds. *)
+val watch_memory :
+  t -> interval:float -> (string * Dbmem.Manager.clerk) list -> unit
+
+(** {1 Reading} *)
+
+val completions : t -> Sim.Series.t
+
+(** Completions with [start <= t < stop], bucketed by [width] seconds. *)
+val throughput :
+  t -> start:float -> stop:float -> width:float -> (float * float) array
+
+val total_completions : t -> ?since:float -> unit -> int
+val errors : t -> (error_kind * int) list
+val error_count : t -> error_kind -> int
+val total_errors : t -> int
+val cache_hits : t -> int
+val compile_time : t -> Sim.Stats.Online.t
+val exec_time : t -> Sim.Stats.Online.t
+val compile_peak : t -> Sim.Stats.Online.t
+
+(** Sampled memory series per watched clerk name. *)
+val memory_series : t -> (string * Sim.Series.t) list
+
+val error_kind_name : error_kind -> string
+val pp : Format.formatter -> t -> unit

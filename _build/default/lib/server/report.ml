@@ -1,0 +1,89 @@
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let widths = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < cols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let print_row row =
+    let cells =
+      List.mapi
+        (fun i cell ->
+          let pad = widths.(i) - String.length cell in
+          cell ^ String.make (max 0 pad) ' ')
+        row
+    in
+    print_endline ("  " ^ String.concat "  " cells)
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') (Array.to_list widths));
+  List.iter print_row rows
+
+let spark_chars = [| " "; "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                     "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                     "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline values =
+  if Array.length values = 0 then ""
+  else begin
+    let hi = Array.fold_left Float.max 0. values in
+    let hi = if hi <= 0. then 1. else hi in
+    let buf = Buffer.create (Array.length values * 3) in
+    Array.iter
+      (fun v ->
+        let level =
+          int_of_float (Float.min 8. (Float.max 0. (v /. hi *. 8.)))
+        in
+        Buffer.add_string buf spark_chars.(level))
+      values;
+    Buffer.contents buf
+  end
+
+let figure_series ~title ~throttled ~unthrottled =
+  Printf.printf "\n%s\n" title;
+  let n = min (Array.length throttled) (Array.length unthrottled) in
+  let rows =
+    List.init n (fun i ->
+        let t, v_on = throttled.(i) in
+        let _, v_off = unthrottled.(i) in
+        [
+          Printf.sprintf "%.0f" t;
+          Printf.sprintf "%.0f" v_on;
+          Printf.sprintf "%.0f" v_off;
+        ])
+  in
+  table ~header:[ "slice start (s)"; "throttled"; "unthrottled" ] rows;
+  let values a = Array.map snd a in
+  Printf.printf "  throttled   %s\n" (sparkline (values throttled));
+  Printf.printf "  unthrottled %s\n" (sparkline (values unthrottled));
+  let mean a =
+    if Array.length a = 0 then 0.
+    else Array.fold_left (fun acc (_, v) -> acc +. v) 0. a /. float_of_int (Array.length a)
+  in
+  let m_on = mean throttled and m_off = mean unthrottled in
+  Printf.printf
+    "  mean completions/slice: throttled %.1f, unthrottled %.1f (uplift %+.0f%%)\n"
+    m_on m_off
+    (if m_off > 0. then 100. *. (m_on -. m_off) /. m_off else nan)
+
+let result_header =
+  [ "clients"; "throttle"; "compl/slice"; "total"; "errors"; "compile s";
+    "exec s"; "peak mem"; "pool hit"; "cpu" ]
+
+let result_row (r : Experiment.result) =
+  [
+    string_of_int r.Experiment.clients;
+    (if r.Experiment.throttled then "on" else "off");
+    Printf.sprintf "%.1f" r.Experiment.mean_per_slice;
+    string_of_int r.Experiment.total_completed;
+    string_of_int r.Experiment.total_errors;
+    Printf.sprintf "%.0f" r.Experiment.compile_mean_s;
+    Printf.sprintf "%.0f" r.Experiment.exec_mean_s;
+    Dbmem.Units.bytes_to_string (int_of_float r.Experiment.compile_peak_mean);
+    Printf.sprintf "%.0f%%" (100. *. r.Experiment.pool_hit_rate);
+    Printf.sprintf "%.2f" r.Experiment.cpu_utilization;
+  ]

@@ -1,0 +1,22 @@
+(** Plain-text rendering of experiment output: aligned tables, the
+    throttled-vs-unthrottled series of Figures 3-5, and unicode sparklines
+    for a quick visual read of each curve. *)
+
+(** [table ~header rows] prints an aligned table to stdout. *)
+val table : header:string list -> string list list -> unit
+
+(** [sparkline values] renders values as a unicode bar string. *)
+val sparkline : float array -> string
+
+(** Print the two completions-per-slice series of a figure, slice by
+    slice, followed by sparklines and the mean uplift. *)
+val figure_series :
+  title:string ->
+  throttled:(float * float) array ->
+  unthrottled:(float * float) array ->
+  unit
+
+(** One-line summary row for a result (used by the sweep tables). *)
+val result_row : Experiment.result -> string list
+
+val result_header : string list

@@ -1,0 +1,138 @@
+type handle = { mutable hcancelled : bool }
+
+type event = { time : float; seq : int; hdl : handle; fn : unit -> unit }
+
+type t = {
+  mutable now : float;
+  mutable seq : int;
+  heap : event Heap.t;
+  root_rng : Rng.t;
+  mutable events : int;
+  mutable failures_rev : (string * exn * float) list;
+  mutable current : string;
+}
+
+type _ Effect.t +=
+  | Sleep : float -> unit Effect.t
+  | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+  | Self_name : string Effect.t
+
+let compare_event a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create ?(seed = 42) () =
+  {
+    now = 0.;
+    seq = 0;
+    heap = Heap.create ~cmp:compare_event ();
+    root_rng = Rng.create seed;
+    events = 0;
+    failures_rev = [];
+    current = "";
+  }
+
+let now t = t.now
+let rng t = t.root_rng
+let events_executed t = t.events
+let failures t = List.rev t.failures_rev
+
+let record_failure t name exn =
+  t.failures_rev <- (name, exn, t.now) :: t.failures_rev;
+  Logs.err (fun m ->
+      m "sim process %S failed at t=%.3f: %s" name t.now (Printexc.to_string exn))
+
+let schedule_event t ~hdl ~time fn =
+  if time < t.now then invalid_arg "Engine.schedule: delay in the past";
+  t.seq <- t.seq + 1;
+  Heap.add t.heap { time; seq = t.seq; hdl; fn }
+
+let schedule t ?(delay = 0.) fn =
+  if delay < 0. then invalid_arg "Engine.schedule: negative delay";
+  let hdl = { hcancelled = false } in
+  schedule_event t ~hdl ~time:(t.now +. delay) fn;
+  hdl
+
+let cancel hdl = hdl.hcancelled <- true
+let cancelled hdl = hdl.hcancelled
+
+(* Run [body] as a process: a deep effect handler interprets the blocking
+   operations by scheduling continuation resumptions as engine events. *)
+let start_process t name body =
+  let open Effect.Deep in
+  let effc : type a. a Effect.t -> ((a, unit) continuation -> unit) option =
+    function
+    | Sleep dt ->
+        Some
+          (fun k ->
+            if dt < 0. then
+              discontinue k (Invalid_argument "Engine.sleep: negative delay")
+            else
+              ignore
+                (schedule t ~delay:dt (fun () ->
+                     t.current <- name;
+                     continue k ())))
+    | Suspend f ->
+        Some
+          (fun k ->
+            let resumed = ref false in
+            let wake v =
+              if not !resumed then begin
+                resumed := true;
+                ignore
+                  (schedule t (fun () ->
+                       t.current <- name;
+                       continue k v))
+              end
+            in
+            f wake)
+    | Self_name -> Some (fun k -> continue k name)
+    | _ -> None
+  in
+  t.current <- name;
+  match_with body ()
+    {
+      retc = (fun () -> ());
+      exnc = (fun exn -> record_failure t name exn);
+      effc;
+    }
+
+let spawn t ?(name = "") ?(delay = 0.) body =
+  ignore (schedule t ~delay (fun () -> start_process t name body))
+
+let sleep dt = Effect.perform (Sleep dt)
+let suspend f = Effect.perform (Suspend f)
+
+let self_name () =
+  try Effect.perform Self_name with Effect.Unhandled _ -> ""
+
+let run t ~until =
+  let rec loop () =
+    match Heap.peek t.heap with
+    | None -> ()
+    | Some ev when ev.time > until -> ()
+    | Some _ ->
+        let ev = Option.get (Heap.pop t.heap) in
+        if not ev.hdl.hcancelled then begin
+          t.now <- ev.time;
+          t.events <- t.events + 1;
+          t.current <- "";
+          (try ev.fn () with exn -> record_failure t t.current exn)
+        end;
+        loop ()
+  in
+  loop ()
+
+let run_all t = run t ~until:infinity
+
+let every t ?start ~interval f =
+  if interval <= 0. then invalid_arg "Engine.every: interval must be > 0";
+  let hdl = { hcancelled = false } in
+  let rec arm time =
+    schedule_event t ~hdl ~time (fun () ->
+        f ();
+        if not hdl.hcancelled then arm (t.now +. interval))
+  in
+  let first = match start with Some s -> s | None -> t.now +. interval in
+  arm (max first t.now);
+  hdl

@@ -1,0 +1,28 @@
+(** Array-backed binary min-heap.
+
+    The ordering is given at creation time; ties are resolved by the
+    comparison function itself, so callers that need FIFO behaviour among
+    equal keys must include a sequence number in the element. *)
+
+type 'a t
+
+(** [create ~cmp ()] is an empty heap ordered by [cmp] (smallest first). *)
+val create : cmp:('a -> 'a -> int) -> unit -> 'a t
+
+(** [add t x] inserts [x]. Amortised O(log n). *)
+val add : 'a t -> 'a -> unit
+
+(** [pop t] removes and returns the smallest element, if any. *)
+val pop : 'a t -> 'a option
+
+(** [peek t] is the smallest element without removing it. *)
+val peek : 'a t -> 'a option
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [clear t] removes every element. *)
+val clear : 'a t -> unit
+
+(** [to_list t] is every element in unspecified order (for tests). *)
+val to_list : 'a t -> 'a list

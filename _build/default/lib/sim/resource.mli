@@ -1,0 +1,72 @@
+(** Blocking synchronisation primitives for simulation processes.
+
+    Both primitives support {e timed} waits — the mechanism behind the
+    paper's gateway acquisition timeouts — and record wait-time statistics.
+    All operations must be called from inside an {!Engine.spawn}ed process
+    (they may suspend the caller). *)
+
+type acquire_result = Acquired | Timed_out
+
+(** Counting semaphore with strictly ordered admission.
+
+    Waiters are served in [(priority, arrival)] order and there is no
+    overtaking: if the head waiter does not fit, later (even smaller)
+    requests wait behind it, like SQL Server's resource semaphore. Capacity
+    can be adjusted at runtime (dynamic gateway limits). *)
+module Sem : sig
+  type t
+
+  (** [create eng ~capacity ()] with [capacity >= 0] units. *)
+  val create : Engine.t -> ?name:string -> capacity:int -> unit -> t
+
+  (** [acquire t ?priority ?timeout ~n ()] blocks until [n] units are
+      granted or [timeout] elapses. Lower [priority] values are served
+      first; equal priorities are FIFO. Default priority [0], no timeout. *)
+  val acquire :
+    t -> ?priority:int -> ?timeout:float -> n:int -> unit -> acquire_result
+
+  (** [try_acquire t ~n] grants immediately or not at all (never blocks).
+      Only succeeds when no waiter is queued (no overtaking). *)
+  val try_acquire : t -> n:int -> bool
+
+  (** [release t ~n] returns [n] units and wakes eligible waiters. *)
+  val release : t -> n:int -> unit
+
+  (** [set_capacity t c] adjusts total capacity. Shrinking below [in_use]
+      is allowed; the deficit recovers as units are released. *)
+  val set_capacity : t -> int -> unit
+
+  val name : t -> string
+  val capacity : t -> int
+  val in_use : t -> int
+  val available : t -> int
+
+  (** Number of processes currently blocked in {!acquire}. *)
+  val queued : t -> int
+
+  (** Wait-time statistics over all completed acquires (including zero-wait
+      fast-path grants). *)
+  val wait_stats : t -> Stats.Online.t
+
+  val timeouts : t -> int
+  val grants : t -> int
+end
+
+(** Condition-variable-style wait queue. *)
+module Waitq : sig
+  type t
+
+  val create : Engine.t -> ?name:string -> unit -> t
+
+  (** [wait t ?timeout ()] blocks until signalled. *)
+  val wait : t -> ?timeout:float -> unit -> acquire_result
+
+  (** [signal t] wakes the longest-waiting process, if any. *)
+  val signal : t -> unit
+
+  (** [broadcast t] wakes every waiting process. *)
+  val broadcast : t -> unit
+
+  val queued : t -> int
+  val name : t -> string
+end

@@ -1,0 +1,78 @@
+type t = {
+  name : string;
+  mutable times : float array;
+  mutable values : float array;
+  mutable size : int;
+}
+
+let create ?(name = "") () = { name; times = [||]; values = [||]; size = 0 }
+
+let name t = t.name
+
+let grow t =
+  let capacity = Array.length t.times in
+  if t.size = capacity then begin
+    let capacity' = max 64 (2 * capacity) in
+    let times' = Array.make capacity' 0. and values' = Array.make capacity' 0. in
+    Array.blit t.times 0 times' 0 t.size;
+    Array.blit t.values 0 values' 0 t.size;
+    t.times <- times';
+    t.values <- values'
+  end
+
+let add t ~time v =
+  if t.size > 0 && time < t.times.(t.size - 1) then
+    invalid_arg "Series.add: time went backwards";
+  grow t;
+  t.times.(t.size) <- time;
+  t.values.(t.size) <- v;
+  t.size <- t.size + 1
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let nth t i =
+  if i < 0 || i >= t.size then invalid_arg "Series.nth";
+  (t.times.(i), t.values.(i))
+
+let last t = if t.size = 0 then None else Some (nth t (t.size - 1))
+
+let to_arrays t = (Array.sub t.times 0 t.size, Array.sub t.values 0 t.size)
+
+let nslices ~start ~stop ~width =
+  assert (width > 0. && stop >= start);
+  int_of_float (ceil ((stop -. start) /. width))
+
+let bucket_fold t ~start ~stop ~width ~init ~f =
+  let n = nslices ~start ~stop ~width in
+  let acc = Array.make n init in
+  for i = 0 to t.size - 1 do
+    let time = t.times.(i) in
+    if time >= start && time < stop then begin
+      let slice = int_of_float ((time -. start) /. width) in
+      let slice = min slice (n - 1) in
+      acc.(slice) <- f acc.(slice) t.values.(i)
+    end
+  done;
+  Array.mapi (fun i a -> (start +. (float_of_int i *. width), a)) acc
+
+let bucket_sum t ~start ~stop ~width =
+  bucket_fold t ~start ~stop ~width ~init:0. ~f:( +. )
+
+let bucket_mean t ~start ~stop ~width =
+  let sums =
+    bucket_fold t ~start ~stop ~width ~init:(0., 0) ~f:(fun (s, n) v ->
+        (s +. v, n + 1))
+  in
+  Array.map
+    (fun (slice_start, (s, n)) ->
+      (slice_start, if n = 0 then nan else s /. float_of_int n))
+    sums
+
+let values_between t ~start ~stop =
+  let out = ref [] in
+  for i = t.size - 1 downto 0 do
+    let time = t.times.(i) in
+    if time >= start && time < stop then out := t.values.(i) :: !out
+  done;
+  Array.of_list !out

@@ -1,0 +1,1 @@
+lib/workload/client.ml: Optimizer Sim Template

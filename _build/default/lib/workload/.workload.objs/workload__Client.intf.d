@@ -1,0 +1,1 @@
+lib/workload/client.mli: Optimizer Sim Template

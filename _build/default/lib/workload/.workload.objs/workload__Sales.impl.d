@@ -1,0 +1,1 @@
+lib/workload/sales.ml: Array Catalog List Optimizer Printf Query Relation Sim Template

@@ -1,0 +1,1 @@
+lib/workload/sales.mli: Optimizer Template

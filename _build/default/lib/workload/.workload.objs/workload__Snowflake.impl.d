@@ -1,0 +1,1 @@
+lib/workload/snowflake.ml: Array Catalog List Optimizer Printf Query Relation Sim Template

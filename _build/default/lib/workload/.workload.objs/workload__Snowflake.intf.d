@@ -1,0 +1,1 @@
+lib/workload/snowflake.mli: Optimizer Template

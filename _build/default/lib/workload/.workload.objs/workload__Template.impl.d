@@ -1,0 +1,1 @@
+lib/workload/template.ml: List Optimizer Sim

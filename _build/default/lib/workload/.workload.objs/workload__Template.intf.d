@@ -1,0 +1,1 @@
+lib/workload/template.mli: Optimizer Sim

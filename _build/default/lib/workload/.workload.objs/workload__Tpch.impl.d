@@ -1,0 +1,1 @@
+lib/workload/tpch.ml: Catalog List Optimizer Printf Query Relation Sim Template

@@ -1,0 +1,1 @@
+lib/workload/tpch.mli: Optimizer Template

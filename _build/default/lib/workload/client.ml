@@ -1,0 +1,39 @@
+type config = { think_mean : float; retry_delay : float; max_attempts : int }
+
+let default_config = { think_mean = 100.0; retry_delay = 5.0; max_attempts = 5 }
+
+type stats = {
+  mutable submitted : int;
+  mutable attempts : int;
+  mutable succeeded : int;
+  mutable abandoned : int;
+}
+
+type submit = Optimizer.Query.t -> (unit, string) result
+
+let make_stats () = { submitted = 0; attempts = 0; succeeded = 0; abandoned = 0 }
+
+let spawn eng rng ~name ~templates ~submit ~config ~stats ~ids ~until =
+  let rng = Sim.Rng.split rng in
+  Sim.Engine.spawn eng ~name (fun () ->
+      while Sim.Engine.now eng < until do
+        Sim.Engine.sleep (Sim.Rng.exponential rng ~mean:config.think_mean);
+        if Sim.Engine.now eng < until then begin
+          let template = Template.pick rng templates in
+          incr ids;
+          let q = Template.instance rng template ~id:!ids in
+          stats.submitted <- stats.submitted + 1;
+          let rec attempt n =
+            stats.attempts <- stats.attempts + 1;
+            match submit q with
+            | Ok () -> stats.succeeded <- stats.succeeded + 1
+            | Error _ when n + 1 < config.max_attempts ->
+                (* Exponential backoff: resource errors mean the server is
+                   saturated; hammering it amplifies the collapse. *)
+                Sim.Engine.sleep (config.retry_delay *. (2. ** float_of_int n));
+                attempt (n + 1)
+            | Error _ -> stats.abandoned <- stats.abandoned + 1
+          in
+          attempt 0
+        end
+      done)

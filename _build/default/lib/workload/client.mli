@@ -1,0 +1,45 @@
+(** Simulated database clients.
+
+    Each client loops: think, pick a template, instantiate a unique query,
+    submit it, and — matching the paper's observation that "aborted queries
+    likely need to be resubmitted to the system" — retry on resource errors
+    after a short backoff, up to a bound. *)
+
+type config = {
+  think_mean : float;  (** exponential think time between queries *)
+  retry_delay : float;
+      (** initial backoff before resubmitting a failed query; doubles per
+          consecutive failure *)
+  max_attempts : int;  (** total attempts per query before giving up *)
+}
+
+val default_config : config
+
+type stats = {
+  mutable submitted : int;  (** distinct queries issued *)
+  mutable attempts : int;  (** submissions including retries *)
+  mutable succeeded : int;
+  mutable abandoned : int;  (** queries dropped after [max_attempts] *)
+}
+
+(** What a client needs from the server: submit a query and block until it
+    completes or fails. The error is an opaque description. *)
+type submit = Optimizer.Query.t -> (unit, string) result
+
+(** [spawn eng rng ~name ~templates ~submit ~config ~stats ~until] starts a
+    client process that runs until the engine clock passes [until]. Query
+    instance ids are drawn from [ids] (shared across clients so every
+    instantiation is globally unique). *)
+val spawn :
+  Sim.Engine.t ->
+  Sim.Rng.t ->
+  name:string ->
+  templates:Template.t list ->
+  submit:submit ->
+  config:config ->
+  stats:stats ->
+  ids:int ref ->
+  until:float ->
+  unit
+
+val make_stats : unit -> stats

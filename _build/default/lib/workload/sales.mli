@@ -1,0 +1,26 @@
+(** The SALES benchmark (paper §5.1), rebuilt synthetically.
+
+    A product-sales data warehouse: one 400-million-row fact table and 19
+    dimension tables, ~524 GB in total, and ten complex ad-hoc query
+    templates averaging 15-20 joins with aggregation over large data
+    fractions. The customer application is proprietary, so the schema here
+    is a synthetic star with the paper's published shape parameters (row
+    counts, data volume, join counts, compile/execute time bands). *)
+
+(** The full catalog (fact + 19 dimensions, ≈524 GB). *)
+val catalog : unit -> Optimizer.Catalog.t
+
+(** Name of the fact table (["sales"]). *)
+val fact_table : string
+
+(** Names of the dimension tables, in fact-FK order. *)
+val dimensions : string list
+
+(** The ten complex templates. Every instantiation joins the fact to a
+    random 15-20-dimension subset, filters a random date window plus a few
+    dimension attributes, groups by 1-3 attributes and computes 2-4 sums. *)
+val templates : unit -> Template.t list
+
+(** A small OLTP-style diagnostic query (fact slice by primary key range,
+    no dimensions) — the class the first gateway threshold exempts. *)
+val diagnostic_template : unit -> Template.t

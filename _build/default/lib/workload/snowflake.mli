@@ -1,0 +1,18 @@
+(** A snowflaked variant of the SALES warehouse.
+
+    The paper claims the throttling mechanism "handles diverse classes of
+    workloads" because blocking is tied to memory allocated rather than to
+    fixed points in compilation, "over a wide variety of schema designs"
+    (§4.1). SALES is a pure star; this schema normalises two dimension
+    chains out of it (customer → region → country and product → brand →
+    category), so queries become mixed star/chain join graphs with a
+    different memo shape. The benchmark harness runs the same
+    throttled-vs-unthrottled comparison on it. *)
+
+val catalog : unit -> Optimizer.Catalog.t
+val fact_table : string
+
+(** Eight templates; instantiations join the fact to 10-13 direct
+    dimensions and extend the customer and product arms through their
+    snowflake chains, staying in the paper's 15-20-join band. *)
+val templates : unit -> Template.t list

@@ -1,0 +1,10 @@
+type t = {
+  tname : string;
+  weight : float;
+  instantiate : Sim.Rng.t -> int -> Optimizer.Query.t;
+}
+
+let pick rng templates =
+  Sim.Rng.weighted_choice rng (List.map (fun t -> (t.weight, t)) templates)
+
+let instance rng t ~id = t.instantiate rng id

@@ -1,0 +1,22 @@
+(** Query templates and the uniquifying instantiation step.
+
+    Following the paper's methodology (§5.1), the load generator takes a
+    small set of base queries and "modifies each base query before it is
+    submitted to the database server to make it appear unique and to defeat
+    plan-caching features": every instantiation draws fresh literals,
+    dimension subsets and group-by columns, and stamps a fresh fingerprint.
+    A repeat-capable variant reuses fingerprints with some probability, for
+    workloads where the plan cache should get hits. *)
+
+type t = {
+  tname : string;
+  weight : float;  (** relative frequency in the mix *)
+  instantiate : Sim.Rng.t -> int -> Optimizer.Query.t;
+      (** [instantiate rng instance_id] *)
+}
+
+(** [pick rng templates] draws a template by weight. *)
+val pick : Sim.Rng.t -> t list -> t
+
+(** [instance rng t ~id] instantiates with a unique fingerprint. *)
+val instance : Sim.Rng.t -> t -> id:int -> Optimizer.Query.t

@@ -1,0 +1,12 @@
+(** TPC-H-like schema and query templates (comparison workload).
+
+    The paper contrasts the SALES queries (15-20 joins, heavy compile
+    memory) with TPC-H queries "of similar scale" (0-8 joins), reporting
+    that SALES compilations use one to two orders of magnitude more memory.
+    This module provides a scale-factor-100-like schema and six templates
+    shaped after Q1/Q3/Q5/Q8/Q9/Q10 spanning the 0-8-join band. *)
+
+val catalog : unit -> Optimizer.Catalog.t
+
+(** Six templates ordered by join count (0 ... 8 relations - 1). *)
+val templates : unit -> Template.t list

@@ -1,0 +1,1 @@
+test/test_bufpool.ml: Alcotest Array Bufpool Dbmem Disk List Policy Pool Printf QCheck QCheck_alcotest Sim

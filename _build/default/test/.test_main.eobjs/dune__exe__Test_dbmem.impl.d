@@ -1,0 +1,1 @@
+test/test_dbmem.ml: Alcotest Array Dbmem List Manager QCheck QCheck_alcotest Units

@@ -1,0 +1,1 @@
+test/test_execsim.ml: Alcotest Bufpool Cpu Dbmem Execsim Float Grant List Optimizer Printf Runner Sim

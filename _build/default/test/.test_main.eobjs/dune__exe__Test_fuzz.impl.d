@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Bufpool Dbmem Float List Printf Qcore Server Workload

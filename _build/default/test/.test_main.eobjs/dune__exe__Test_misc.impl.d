@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Dbmem Format List Optimizer Option Printf Relation Server Sim String Workload

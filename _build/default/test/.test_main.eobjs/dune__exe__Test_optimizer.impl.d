@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Array Bridge Card Cascades Catalog Cost Dp Env Float Format Gen Greedy Histogram List Optimizer Plan Printf QCheck QCheck_alcotest Query Relset Sim String

@@ -1,0 +1,1 @@
+test/test_plancache.ml: Alcotest Cache Dbmem List Optimizer Plancache Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_qcore.ml: Alcotest Array Broker Compile_gov Dbmem Float Gen List Monitor Printf QCheck QCheck_alcotest Qcore Sim Throttle_config Trend

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Array Datagen Expr Relation Schema Sim Table Tuple Value

@@ -1,0 +1,1 @@
+test/test_rowexec.ml: Alcotest Array Expr Operator QCheck QCheck_alcotest Relation Rowexec Schema Sim Table Tuple Value

@@ -1,0 +1,1 @@
+test/test_server.ml: Alcotest Array Dbmem List Plancache Printf Qcore Server Sim Workload

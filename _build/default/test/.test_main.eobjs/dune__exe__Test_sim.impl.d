@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Float Hashtbl Heap List Option QCheck QCheck_alcotest Resource Rng Series Sim Stats

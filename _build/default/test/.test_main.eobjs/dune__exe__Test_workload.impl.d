@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Dbmem Float List Optimizer Printf Sim Workload

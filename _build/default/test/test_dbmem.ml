@@ -1,0 +1,211 @@
+(* Tests for memory clerks, the manager, and donor-based reclamation. *)
+
+open Dbmem
+
+let mib = Units.mib
+
+let test_units () =
+  Alcotest.(check int) "kib" 2048 (Units.kib 2);
+  Alcotest.(check int) "mib" (1024 * 1024) (Units.mib 1);
+  Alcotest.(check int) "gib" (1024 * 1024 * 1024) (Units.gib 1);
+  Alcotest.(check (float 1e-9)) "to_mib" 1.5 (Units.to_mib (Units.kib 1536));
+  Alcotest.(check string) "pp gib" "1.00 GiB" (Units.bytes_to_string (Units.gib 1));
+  Alcotest.(check string) "pp bytes" "123 B" (Units.bytes_to_string 123)
+
+let test_alloc_free_accounting () =
+  let m = Manager.create ~total:(mib 100) () in
+  let a = Manager.create_clerk m "a" and b = Manager.create_clerk m "b" in
+  Manager.alloc_exn a (mib 10);
+  Manager.alloc_exn b (mib 20);
+  Alcotest.(check int) "used" (mib 30) (Manager.used m);
+  Alcotest.(check int) "available" (mib 70) (Manager.available m);
+  Alcotest.(check int) "clerk a" (mib 10) (Manager.clerk_used a);
+  Manager.free a (mib 5);
+  Alcotest.(check int) "clerk a after free" (mib 5) (Manager.clerk_used a);
+  Alcotest.(check int) "used after free" (mib 25) (Manager.used m);
+  Manager.free_all b;
+  Alcotest.(check int) "b empty" 0 (Manager.clerk_used b);
+  Alcotest.(check int) "only a remains" (mib 5) (Manager.used m)
+
+let test_peak_tracking () =
+  let m = Manager.create ~total:(mib 100) () in
+  let c = Manager.create_clerk m "c" in
+  Manager.alloc_exn c (mib 30);
+  Manager.free c (mib 20);
+  Manager.alloc_exn c (mib 5);
+  Alcotest.(check int) "peak" (mib 30) (Manager.clerk_peak c);
+  Manager.reset_peak c;
+  Alcotest.(check int) "peak reset to current" (mib 15) (Manager.clerk_peak c)
+
+let test_oom_without_donors () =
+  let m = Manager.create ~total:(mib 10) () in
+  let c = Manager.create_clerk m "c" in
+  Manager.alloc_exn c (mib 8);
+  (match Manager.alloc c (mib 5) with
+  | Error `Out_of_memory -> ()
+  | Ok () -> Alcotest.fail "expected OOM");
+  Alcotest.(check int) "accounting unchanged" (mib 8) (Manager.used m);
+  Alcotest.(check int) "oom counted" 1 (Manager.oom_count m)
+
+let test_donor_reclaim () =
+  let m = Manager.create ~total:(mib 100) () in
+  let cache = Manager.create_clerk m "cache" in
+  let user = Manager.create_clerk m "user" in
+  Manager.alloc_exn cache (mib 90);
+  (* The cache donates by actually freeing its own clerk bytes. *)
+  Manager.register_donor m ~clerk:cache ~priority:0 ~shrink:(fun want ->
+      let give = min want (Manager.clerk_used cache) in
+      Manager.free cache give;
+      give);
+  Manager.alloc_exn user (mib 50);
+  Alcotest.(check int) "user got memory" (mib 50) (Manager.clerk_used user);
+  Alcotest.(check bool) "cache shrank" true (Manager.clerk_used cache <= mib 50)
+
+let test_donor_priority_order () =
+  let m = Manager.create ~total:(mib 100) () in
+  let first = Manager.create_clerk m "first" in
+  let second = Manager.create_clerk m "second" in
+  let user = Manager.create_clerk m "user" in
+  Manager.alloc_exn first (mib 50);
+  Manager.alloc_exn second (mib 50);
+  let donor clerk = fun want ->
+    let give = min want (Manager.clerk_used clerk) in
+    Manager.free clerk give;
+    give
+  in
+  Manager.register_donor m ~clerk:second ~priority:2 ~shrink:(donor second);
+  Manager.register_donor m ~clerk:first ~priority:1 ~shrink:(donor first);
+  Manager.alloc_exn user (mib 30);
+  Alcotest.(check int) "lower priority donated" (mib 20) (Manager.clerk_used first);
+  Alcotest.(check int) "higher priority untouched" (mib 50) (Manager.clerk_used second)
+
+let test_donor_cascade () =
+  let m = Manager.create ~total:(mib 100) () in
+  let a = Manager.create_clerk m "a" and b = Manager.create_clerk m "b" in
+  let user = Manager.create_clerk m "user" in
+  Manager.alloc_exn a (mib 40);
+  Manager.alloc_exn b (mib 60);
+  let donor clerk cap = fun want ->
+    (* This donor refuses to go below [cap]. *)
+    let give = min want (max 0 (Manager.clerk_used clerk - cap)) in
+    Manager.free clerk give;
+    give
+  in
+  Manager.register_donor m ~clerk:a ~priority:0 ~shrink:(donor a (mib 30));
+  Manager.register_donor m ~clerk:b ~priority:1 ~shrink:(donor b (mib 20));
+  (* Needs 50: a can give 10, b gives the remaining 40. *)
+  Manager.alloc_exn user (mib 50);
+  Alcotest.(check int) "a at floor" (mib 30) (Manager.clerk_used a);
+  Alcotest.(check int) "b gave the rest" (mib 20) (Manager.clerk_used b)
+
+let test_oom_after_donors_exhausted () =
+  let m = Manager.create ~total:(mib 100) () in
+  let cache = Manager.create_clerk m "cache" in
+  let pinned = Manager.create_clerk m "pinned" in
+  let user = Manager.create_clerk m "user" in
+  Manager.alloc_exn cache (mib 20);
+  Manager.alloc_exn pinned (mib 75);
+  Manager.register_donor m ~clerk:cache ~priority:0 ~shrink:(fun want ->
+      let give = min want (Manager.clerk_used cache) in
+      Manager.free cache give;
+      give);
+  (match Manager.alloc user (mib 40) with
+  | Error `Out_of_memory -> ()
+  | Ok () -> Alcotest.fail "expected OOM");
+  (* The shrink is not rolled back, as in a real engine. *)
+  Alcotest.(check int) "cache fully drained" 0 (Manager.clerk_used cache)
+
+let test_demand () =
+  let m = Manager.create ~total:(mib 100) () in
+  let cache = Manager.create_clerk m "cache" in
+  Manager.alloc_exn cache (mib 95);
+  Manager.register_donor m ~clerk:cache ~priority:0 ~shrink:(fun want ->
+      let give = min want (Manager.clerk_used cache) in
+      Manager.free cache give;
+      give);
+  let freed = Manager.demand m (mib 50) in
+  Alcotest.(check int) "freed" (mib 45) freed;
+  Alcotest.(check bool) "available" true (Manager.available m >= mib 50)
+
+let test_free_underflow_rejected () =
+  let m = Manager.create ~total:(mib 10) () in
+  let c = Manager.create_clerk m "c" in
+  Manager.alloc_exn c 100;
+  Alcotest.check_raises "underflow"
+    (Invalid_argument "Manager.free: clerk c underflow") (fun () ->
+      Manager.free c 200)
+
+let test_snapshot () =
+  let m = Manager.create ~total:(mib 10) () in
+  let a = Manager.create_clerk m "alpha" in
+  let _b = Manager.create_clerk m "beta" in
+  Manager.alloc_exn a 42;
+  Alcotest.(check (list (pair string int)))
+    "snapshot order and values"
+    [ ("alpha", 42); ("beta", 0) ]
+    (Manager.snapshot m);
+  match Manager.find_clerk m "beta" with
+  | Some c -> Alcotest.(check string) "find" "beta" (Manager.clerk_name c)
+  | None -> Alcotest.fail "beta not found"
+
+let test_alloc_zero () =
+  let m = Manager.create ~total:(mib 1) () in
+  let c = Manager.create_clerk m "c" in
+  Manager.alloc_exn c 0;
+  Alcotest.(check int) "nothing allocated" 0 (Manager.used m)
+
+let test_demand_without_donors () =
+  let m = Manager.create ~total:(mib 10) () in
+  let c = Manager.create_clerk m "c" in
+  Manager.alloc_exn c (mib 9);
+  Alcotest.(check int) "nothing reclaimable" 0 (Manager.demand m (mib 5))
+
+let test_find_clerk_missing () =
+  let m = Manager.create ~total:(mib 1) () in
+  Alcotest.(check bool) "absent" true (Manager.find_clerk m "ghost" = None)
+
+let test_negative_alloc_rejected () =
+  let m = Manager.create ~total:(mib 1) () in
+  let c = Manager.create_clerk m "c" in
+  Alcotest.check_raises "negative" (Invalid_argument "Manager.alloc: negative")
+    (fun () -> ignore (Manager.alloc c (-1)))
+
+(* Invariant: sum of clerk usage equals manager usage, never exceeds total. *)
+let prop_accounting_invariant =
+  QCheck.Test.make ~name:"clerk sum = manager used <= total" ~count:200
+    QCheck.(list (pair (int_range 0 2) (int_range (-300) 500)))
+    (fun ops ->
+      let total = 1000 in
+      let m = Manager.create ~total () in
+      let clerks = [| Manager.create_clerk m "c0"; Manager.create_clerk m "c1"; Manager.create_clerk m "c2" |] in
+      List.iter
+        (fun (ci, amount) ->
+          let c = clerks.(ci) in
+          if amount >= 0 then ignore (Manager.alloc c amount)
+          else begin
+            let f = min (-amount) (Manager.clerk_used c) in
+            Manager.free c f
+          end)
+        ops;
+      let sum = Array.fold_left (fun acc c -> acc + Manager.clerk_used c) 0 clerks in
+      sum = Manager.used m && Manager.used m <= total && Manager.available m >= 0)
+
+let suite =
+  [
+    ("units", `Quick, test_units);
+    ("alloc/free accounting", `Quick, test_alloc_free_accounting);
+    ("peak tracking", `Quick, test_peak_tracking);
+    ("oom without donors", `Quick, test_oom_without_donors);
+    ("donor reclaim", `Quick, test_donor_reclaim);
+    ("donor priority order", `Quick, test_donor_priority_order);
+    ("donor cascade", `Quick, test_donor_cascade);
+    ("oom after donors exhausted", `Quick, test_oom_after_donors_exhausted);
+    ("demand", `Quick, test_demand);
+    ("free underflow rejected", `Quick, test_free_underflow_rejected);
+    ("snapshot", `Quick, test_snapshot);
+    ("alloc zero", `Quick, test_alloc_zero);
+    ("demand without donors", `Quick, test_demand_without_donors);
+    ("find clerk missing", `Quick, test_find_clerk_missing);
+    ("negative alloc rejected", `Quick, test_negative_alloc_rejected);
+    QCheck_alcotest.to_alcotest prop_accounting_invariant;
+  ]

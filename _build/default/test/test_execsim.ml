@@ -1,0 +1,340 @@
+(* Tests for the CPU pool, execution grants, and the simulated runner. *)
+
+open Execsim
+
+let mib = Dbmem.Units.mib
+
+(* ------------------------------------------------------------------ *)
+(* Cpu *)
+
+let test_cpu_single_job_exact_time () =
+  let eng = Sim.Engine.create () in
+  let cpu = Cpu.create eng ~cores:2 () in
+  let finished = ref 0. in
+  Sim.Engine.spawn eng (fun () ->
+      Cpu.busy cpu 3.0;
+      finished := Sim.Engine.now eng);
+  Sim.Engine.run_all eng;
+  Alcotest.(check (float 1e-6)) "uncontended" 3.0 !finished;
+  Alcotest.(check (float 1e-6)) "busy accounted" 3.0 (Cpu.busy_seconds cpu)
+
+let test_cpu_contention_stretches_wallclock () =
+  let eng = Sim.Engine.create () in
+  let cpu = Cpu.create eng ~cores:1 () in
+  let finished = ref [] in
+  for _ = 1 to 2 do
+    Sim.Engine.spawn eng (fun () ->
+        Cpu.busy cpu 2.0;
+        finished := Sim.Engine.now eng :: !finished)
+  done;
+  Sim.Engine.run_all eng;
+  (* 4 CPU-seconds on one core: the last job finishes at t=4, and slicing
+     means both run "simultaneously", finishing near the end. *)
+  (match !finished with
+  | [ a; b ] ->
+      Alcotest.(check (float 1e-6)) "total work" 4.0 (Float.max a b);
+      Alcotest.(check bool) "interleaved (both finish late)" true (Float.min a b > 3.0)
+  | _ -> Alcotest.fail "expected two");
+  Alcotest.(check (float 1e-6)) "busy total" 4.0 (Cpu.busy_seconds cpu)
+
+let test_cpu_parallel_cores () =
+  let eng = Sim.Engine.create () in
+  let cpu = Cpu.create eng ~cores:4 () in
+  let latest = ref 0. in
+  for _ = 1 to 4 do
+    Sim.Engine.spawn eng (fun () ->
+        Cpu.busy cpu 5.0;
+        latest := Float.max !latest (Sim.Engine.now eng))
+  done;
+  Sim.Engine.run_all eng;
+  Alcotest.(check (float 1e-6)) "four jobs on four cores" 5.0 !latest
+
+let test_cpu_utilization () =
+  let eng = Sim.Engine.create () in
+  let cpu = Cpu.create eng ~cores:2 () in
+  Sim.Engine.spawn eng (fun () -> Cpu.busy cpu 4.0);
+  ignore (Sim.Engine.schedule eng ~delay:8.0 (fun () -> ()));
+  Sim.Engine.run_all eng;
+  (* 4 busy core-seconds over an 8-second window. *)
+  Alcotest.(check (float 1e-6)) "utilization" 0.5 (Cpu.utilization cpu)
+
+(* ------------------------------------------------------------------ *)
+(* Grant *)
+
+let make_grant ?(total = mib 100) ?(max_query_frac = 0.25) ?(min_grant = mib 1)
+    ?(timeout = 50.) () =
+  let eng = Sim.Engine.create () in
+  let manager = Dbmem.Manager.create ~total:(2 * total) () in
+  let clerk = Dbmem.Manager.create_clerk manager "execution" in
+  let g =
+    Grant.create eng manager ~clerk ~total ~max_query_frac ~min_grant ~timeout ()
+  in
+  (eng, manager, clerk, g)
+
+let test_grant_full_when_it_fits () =
+  let eng, _, clerk, g = make_grant () in
+  Sim.Engine.spawn eng (fun () ->
+      match Grant.acquire g ~ideal:(mib 10) with
+      | Ok n ->
+          Alcotest.(check int) "full ideal" (mib 10) n;
+          Alcotest.(check int) "clerk charged" (mib 10) (Dbmem.Manager.clerk_used clerk);
+          Grant.release g n;
+          Alcotest.(check int) "clerk freed" 0 (Dbmem.Manager.clerk_used clerk)
+      | Error _ -> Alcotest.fail "unexpected failure");
+  Sim.Engine.run_all eng
+
+let test_grant_trims_large_requests () =
+  let eng, _, _, g = make_grant ~total:(mib 100) ~max_query_frac:0.25 () in
+  Sim.Engine.spawn eng (fun () ->
+      match Grant.acquire g ~ideal:(mib 80) with
+      | Ok n ->
+          Alcotest.(check int) "trimmed to 25%" (mib 25) n;
+          Grant.release g n
+      | Error _ -> Alcotest.fail "unexpected failure");
+  Sim.Engine.run_all eng
+
+let test_grant_min_grant_floor () =
+  let eng, _, _, g = make_grant ~min_grant:(mib 5) ~max_query_frac:0.01 () in
+  Sim.Engine.spawn eng (fun () ->
+      match Grant.acquire g ~ideal:(mib 50) with
+      | Ok n ->
+          (* Cap would be 1 MiB but the floor is 5 MiB. *)
+          Alcotest.(check int) "floored" (mib 5) n;
+          Grant.release g n
+      | Error _ -> Alcotest.fail "unexpected failure");
+  Sim.Engine.run_all eng
+
+let test_grant_small_request_untouched () =
+  let eng, _, _, g = make_grant ~min_grant:(mib 5) () in
+  Sim.Engine.spawn eng (fun () ->
+      match Grant.acquire g ~ideal:(mib 2) with
+      | Ok n ->
+          Alcotest.(check int) "never more than ideal" (mib 2) n;
+          Grant.release g n
+      | Error _ -> Alcotest.fail "unexpected failure");
+  Sim.Engine.run_all eng
+
+let test_grant_queueing_and_timeout () =
+  let eng, _, _, g = make_grant ~total:(mib 100) ~max_query_frac:1.0 ~timeout:10. () in
+  let second = ref None in
+  Sim.Engine.spawn eng (fun () ->
+      match Grant.acquire g ~ideal:(mib 100) with
+      | Ok n ->
+          Sim.Engine.sleep 100.;
+          Grant.release g n
+      | Error _ -> Alcotest.fail "first must succeed");
+  Sim.Engine.spawn eng ~delay:1.0 (fun () ->
+      second := Some (Grant.acquire g ~ideal:(mib 50)));
+  Sim.Engine.run_all eng;
+  (match !second with
+  | Some (Error `Timeout) -> ()
+  | _ -> Alcotest.fail "expected grant timeout");
+  Alcotest.(check int) "timeout counted" 1 (Grant.timeouts g)
+
+let test_grant_fifo () =
+  let eng, _, _, g = make_grant ~total:(mib 100) ~max_query_frac:1.0 ~timeout:1000. () in
+  let order = ref [] in
+  Sim.Engine.spawn eng (fun () ->
+      match Grant.acquire g ~ideal:(mib 100) with
+      | Ok n ->
+          Sim.Engine.sleep 10.;
+          Grant.release g n
+      | Error _ -> ());
+  List.iter
+    (fun (name, delay) ->
+      Sim.Engine.spawn eng ~delay (fun () ->
+          match Grant.acquire g ~ideal:(mib 40) with
+          | Ok n ->
+              order := name :: !order;
+              Sim.Engine.sleep 5.;
+              Grant.release g n
+          | Error _ -> ()))
+    [ ("first", 1.0); ("second", 2.0) ];
+  Sim.Engine.run_all eng;
+  Alcotest.(check (list string)) "fifo service" [ "first"; "second" ] (List.rev !order)
+
+(* ------------------------------------------------------------------ *)
+(* Runner *)
+
+let star_plan ~fact_rows =
+  let cat = Optimizer.Catalog.create () in
+  Optimizer.Catalog.add_table cat
+    {
+      Optimizer.Catalog.tbl_name = "dim";
+      rows = 1000.;
+      columns =
+        [ Optimizer.Catalog.int_column "dim_key" ~distinct:1000.;
+          Optimizer.Catalog.int_column "attr" ~distinct:100. ];
+      indexes = [];
+    };
+  Optimizer.Catalog.add_table cat
+    {
+      Optimizer.Catalog.tbl_name = "fact";
+      rows = fact_rows;
+      columns =
+        [ Optimizer.Catalog.int_column "fact_key" ~distinct:fact_rows;
+          Optimizer.Catalog.int_column "dim_key" ~distinct:1000.;
+          Optimizer.Catalog.int_column "m" ~distinct:1000. ];
+      indexes = [];
+    };
+  let q =
+    Optimizer.Query.make ~id:"rq" ~rels:[ ("fact", "f"); ("dim", "d") ]
+      ~preds:
+        [ { Optimizer.Query.jleft = 0; jlcol = "dim_key"; jright = 1;
+            jrcol = "dim_key"; jsel = 0.001 } ]
+      ~filters:[] ~agg:None
+  in
+  let card = Optimizer.Card.create cat q in
+  Optimizer.Greedy.plan Optimizer.Cost.default card
+
+let make_resources ?(memory = Dbmem.Units.gib 1) ?(workspace = mib 256) () =
+  let eng = Sim.Engine.create () in
+  let manager = Dbmem.Manager.create ~total:memory () in
+  let pool_clerk = Dbmem.Manager.create_clerk manager "bufpool" in
+  let exec_clerk = Dbmem.Manager.create_clerk manager "execution" in
+  let disk =
+    Bufpool.Disk.create eng ~spindles:4 ~seek_s:0.005
+      ~throughput_bytes_per_s:(float_of_int (mib 40))
+  in
+  let pool =
+    Bufpool.Pool.create eng manager ~clerk:pool_clerk ~disk ~page_bytes:(mib 1)
+      ~policy:Bufpool.Policy.Lru2
+  in
+  let grants =
+    Grant.create eng manager ~clerk:exec_clerk ~total:workspace ~timeout:500. ()
+  in
+  let cpu = Cpu.create eng ~cores:4 () in
+  let resources =
+    { Runner.eng; cpu; pool; disk; grants; rng = Sim.Rng.create 5 }
+  in
+  (eng, manager, resources)
+
+let run_plan eng resources plan =
+  let result = ref None in
+  Sim.Engine.spawn eng (fun () ->
+      result := Some (Runner.run resources Runner.default_config plan));
+  Sim.Engine.run_all eng;
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "runner did not finish"
+
+let test_runner_completes_and_accounts () =
+  let eng, manager, resources = make_resources () in
+  let plan = star_plan ~fact_rows:2_000_000. in
+  match run_plan eng resources plan with
+  | Ok o ->
+      Alcotest.(check bool) "positive duration" true (o.Runner.duration > 0.);
+      Alcotest.(check bool) "read pages" true (o.Runner.pages_read > 0);
+      Alcotest.(check bool) "granted within ideal" true (o.Runner.granted <= o.Runner.ideal);
+      (* The grant was released: only pool memory remains. *)
+      Alcotest.(check int) "grant released"
+        (Bufpool.Pool.resident_bytes resources.Runner.pool)
+        (Dbmem.Manager.used manager)
+  | Error _ -> Alcotest.fail "runner failed"
+
+let test_runner_warm_pool_is_faster () =
+  let eng, _, resources = make_resources ~memory:(Dbmem.Units.gib 2) () in
+  let plan = star_plan ~fact_rows:500_000. in
+  let cold =
+    match run_plan eng resources plan with
+    | Ok o -> o.Runner.duration
+    | Error _ -> Alcotest.fail "cold run failed"
+  in
+  (* Second run: everything the first run touched is still cached (note:
+     the random scan start means only partial overlap, so just require
+     strictly faster). *)
+  let result = ref None in
+  Sim.Engine.spawn eng (fun () ->
+      result := Some (Runner.run resources Runner.default_config plan));
+  Sim.Engine.run_all eng;
+  match !result with
+  | Some (Ok o) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "warm (%.2fs) <= cold (%.2fs)" o.Runner.duration cold)
+        true
+        (o.Runner.duration < cold)
+  | _ -> Alcotest.fail "warm run failed"
+
+(* A plan that deliberately builds its hash table on the fact side, so the
+   ideal grant is large (the optimizer would avoid this; the runner must
+   still execute it, spilling). *)
+let fact_build_plan ~fact_rows =
+  let cat = Optimizer.Catalog.create () in
+  Optimizer.Catalog.add_table cat
+    {
+      Optimizer.Catalog.tbl_name = "dim";
+      rows = 1000.;
+      columns = [ Optimizer.Catalog.int_column "dim_key" ~distinct:1000. ];
+      indexes = [];
+    };
+  Optimizer.Catalog.add_table cat
+    {
+      Optimizer.Catalog.tbl_name = "fact";
+      rows = fact_rows;
+      columns =
+        [ Optimizer.Catalog.int_column "fact_key" ~distinct:fact_rows;
+          Optimizer.Catalog.int_column "dim_key" ~distinct:1000. ];
+      indexes = [];
+    };
+  let q =
+    Optimizer.Query.make ~id:"fb" ~rels:[ ("fact", "f"); ("dim", "d") ]
+      ~preds:
+        [ { Optimizer.Query.jleft = 0; jlcol = "dim_key"; jright = 1;
+            jrcol = "dim_key"; jsel = 0.001 } ]
+      ~filters:[] ~agg:None
+  in
+  let card = Optimizer.Card.create cat q in
+  let fact = Optimizer.Plan.seq_scan Optimizer.Cost.default card 0 in
+  let dim = Optimizer.Plan.seq_scan Optimizer.Cost.default card 1 in
+  Optimizer.Plan.hash_join Optimizer.Cost.default
+    ~rows:(Optimizer.Card.card card (Optimizer.Relset.full 2))
+    ~build:fact ~probe:dim
+
+let test_runner_spills_when_grant_short () =
+  let eng, _, resources = make_resources ~workspace:(mib 8) () in
+  (* Building on a 20M-row fact needs ~1.6 GB: far over the workspace. *)
+  let plan = fact_build_plan ~fact_rows:20_000_000. in
+  match run_plan eng resources plan with
+  | Ok o ->
+      Alcotest.(check bool) "grant was short" true (o.Runner.granted < o.Runner.ideal);
+      Alcotest.(check bool) "spilled" true o.Runner.spilled;
+      Alcotest.(check bool) "spill wrote to disk" true
+        (Bufpool.Disk.bytes_written resources.Runner.disk > 0)
+  | Error _ -> Alcotest.fail "runner failed"
+
+let test_runner_grant_timeout_surfaces () =
+  let eng, _, resources = make_resources ~workspace:(mib 64) () in
+  (* Occupy the whole workspace forever (requests are trimmed to 25%, so
+     four of them saturate the semaphore). *)
+  for _ = 1 to 4 do
+    Sim.Engine.spawn eng (fun () ->
+        match Grant.acquire resources.Runner.grants ~ideal:(mib 64) with
+        | Ok _ -> Sim.Engine.sleep 1e9
+        | Error _ -> ())
+  done;
+  let plan = fact_build_plan ~fact_rows:20_000_000. in
+  let result = ref None in
+  Sim.Engine.spawn eng ~delay:1.0 (fun () ->
+      result := Some (Runner.run resources Runner.default_config plan));
+  Sim.Engine.run eng ~until:2_000.;
+  match !result with
+  | Some (Error `Grant_timeout) -> ()
+  | _ -> Alcotest.fail "expected grant timeout"
+
+let suite =
+  [
+    ("cpu single job", `Quick, test_cpu_single_job_exact_time);
+    ("cpu contention", `Quick, test_cpu_contention_stretches_wallclock);
+    ("cpu parallel cores", `Quick, test_cpu_parallel_cores);
+    ("cpu utilization", `Quick, test_cpu_utilization);
+    ("grant full when fits", `Quick, test_grant_full_when_it_fits);
+    ("grant trims large", `Quick, test_grant_trims_large_requests);
+    ("grant min floor", `Quick, test_grant_min_grant_floor);
+    ("grant small untouched", `Quick, test_grant_small_request_untouched);
+    ("grant queue and timeout", `Quick, test_grant_queueing_and_timeout);
+    ("grant fifo", `Quick, test_grant_fifo);
+    ("runner completes", `Quick, test_runner_completes_and_accounts);
+    ("runner warm pool faster", `Quick, test_runner_warm_pool_is_faster);
+    ("runner spills on short grant", `Quick, test_runner_spills_when_grant_short);
+    ("runner grant timeout", `Quick, test_runner_grant_timeout_surfaces);
+  ]

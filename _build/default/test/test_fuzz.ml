@@ -1,0 +1,126 @@
+(* Robustness sweep: short end-to-end runs across a grid of configurations
+   and seeds. Every run must finish without simulation-process failures
+   (Experiment.run raises otherwise) and satisfy basic conservation
+   invariants. These runs are much smaller than the benchmark windows, so
+   the whole sweep stays fast. *)
+
+let run_one ~seed ~clients ~throttled ~policy ~cpus ~memory_gib =
+  let base =
+    if throttled then Server.Config.default () else Server.Config.unthrottled ()
+  in
+  let config =
+    {
+      base with
+      Server.Config.seed;
+      cpus;
+      memory_bytes = Dbmem.Units.gib memory_gib;
+      pool_policy = policy;
+    }
+  in
+  Server.Experiment.run ~config ~clients ~warmup:0. ~measure:400. ~slice:100. ()
+
+let check_invariants name (r : Server.Experiment.result) =
+  let c = r.Server.Experiment.client_stats in
+  Alcotest.(check bool)
+    (name ^ ": attempts >= submitted")
+    true
+    (c.Workload.Client.attempts >= c.Workload.Client.submitted);
+  Alcotest.(check bool)
+    (name ^ ": succeeded + abandoned <= submitted")
+    true
+    (c.Workload.Client.succeeded + c.Workload.Client.abandoned
+    <= c.Workload.Client.submitted);
+  Alcotest.(check int)
+    (name ^ ": completions = successes")
+    c.Workload.Client.succeeded r.Server.Experiment.total_completed;
+  Alcotest.(check bool)
+    (name ^ ": pool hit rate sane")
+    true
+    (Float.is_nan r.Server.Experiment.pool_hit_rate
+    || (r.Server.Experiment.pool_hit_rate >= 0. && r.Server.Experiment.pool_hit_rate <= 1.))
+
+let test_config_grid () =
+  List.iter
+    (fun (clients, throttled, policy, cpus, memory_gib) ->
+      let name =
+        Printf.sprintf "c%d-%b-%dcpu-%dgib" clients throttled cpus memory_gib
+      in
+      let r = run_one ~seed:1 ~clients ~throttled ~policy ~cpus ~memory_gib in
+      check_invariants name r)
+    [
+      (4, true, Bufpool.Policy.Lru, 2, 1);
+      (4, false, Bufpool.Policy.Lru, 2, 1);
+      (12, true, Bufpool.Policy.Clock, 4, 2);
+      (12, false, Bufpool.Policy.Lru2, 4, 2);
+      (24, true, Bufpool.Policy.Lru2, 8, 4);
+      (24, false, Bufpool.Policy.Lru2, 8, 4);
+    ]
+
+let test_seed_sweep () =
+  for seed = 100 to 107 do
+    let r =
+      run_one ~seed ~clients:10 ~throttled:(seed mod 2 = 0)
+        ~policy:Bufpool.Policy.Lru2 ~cpus:4 ~memory_gib:2
+    in
+    check_invariants (Printf.sprintf "seed%d" seed) r
+  done
+
+let test_tiny_memory_survives () =
+  (* A pathologically small machine: lots of errors are fine, crashes are
+     not. *)
+  let r =
+    run_one ~seed:5 ~clients:8 ~throttled:true ~policy:Bufpool.Policy.Lru ~cpus:1
+      ~memory_gib:1
+  in
+  check_invariants "tiny" r
+
+let test_static_ladder_variant () =
+  let config =
+    {
+      (Server.Config.default ()) with
+      Server.Config.throttle = Qcore.Throttle_config.static_only ();
+      seed = 9;
+    }
+  in
+  let r =
+    Server.Experiment.run ~config ~clients:16 ~warmup:0. ~measure:400. ~slice:100. ()
+  in
+  check_invariants "static ladder" r
+
+let test_single_gate_variant () =
+  let config =
+    {
+      (Server.Config.default ()) with
+      Server.Config.throttle = Qcore.Throttle_config.single_gate ();
+      seed = 10;
+    }
+  in
+  let r =
+    Server.Experiment.run ~config ~clients:16 ~warmup:0. ~measure:400. ~slice:100. ()
+  in
+  check_invariants "single gate" r
+
+let test_tpch_workload_end_to_end () =
+  (* The comparison workload also runs through the full server. *)
+  let config = { (Server.Config.default ()) with Server.Config.seed = 11 } in
+  (* TPC-H executions scan tens of GB (no star-style date slicing), so
+     they take ~20 minutes each on this hardware: use a long window. *)
+  let r =
+    Server.Experiment.run ~config
+      ~catalog:(Workload.Tpch.catalog ())
+      ~templates:(Workload.Tpch.templates ())
+      ~clients:4 ~warmup:0. ~measure:3000. ~slice:500. ()
+  in
+  check_invariants "tpch" r;
+  Alcotest.(check bool) "tpch completes queries" true
+    (r.Server.Experiment.total_completed > 0)
+
+let suite =
+  [
+    ("config grid", `Slow, test_config_grid);
+    ("seed sweep", `Slow, test_seed_sweep);
+    ("tiny memory survives", `Slow, test_tiny_memory_survives);
+    ("static ladder variant", `Slow, test_static_ladder_variant);
+    ("single gate variant", `Slow, test_single_gate_variant);
+    ("tpch workload end to end", `Slow, test_tpch_workload_end_to_end);
+  ]

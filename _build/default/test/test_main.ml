@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "dbsim"
+    [
+      ("sim", Test_sim.suite);
+      ("dbmem", Test_dbmem.suite);
+      ("qcore", Test_qcore.suite);
+      ("relation", Test_relation.suite);
+      ("rowexec", Test_rowexec.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("bufpool", Test_bufpool.suite);
+      ("plancache", Test_plancache.suite);
+      ("execsim", Test_execsim.suite);
+      ("workload", Test_workload.suite);
+      ("server", Test_server.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("misc", Test_misc.suite);
+    ]

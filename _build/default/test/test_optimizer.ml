@@ -1,0 +1,583 @@
+(* Tests for the optimizer: cardinality estimation, plan costing, greedy /
+   DP / Cascades search, and row-level validation of produced plans. *)
+
+open Optimizer
+
+(* ------------------------------------------------------------------ *)
+(* Schema helpers: a star catalog (fact + dimensions) and a chain. *)
+
+let star_catalog ~dims ~fact_rows ~dim_rows =
+  let cat = Catalog.create () in
+  for d = 0 to dims - 1 do
+    let name = Printf.sprintf "d%d" d in
+    Catalog.add_table cat
+      {
+        Catalog.tbl_name = name;
+        rows = float_of_int dim_rows;
+        columns =
+          [
+            Catalog.int_column (name ^ "_key") ~distinct:(float_of_int dim_rows);
+            {
+              (Catalog.int_column "attr" ~distinct:100.) with
+              Catalog.min_value = 0;
+              max_value = 99;
+            };
+          ];
+        indexes =
+          [ { Catalog.idx_name = name ^ "_pk"; idx_columns = [ name ^ "_key" ]; clustered = true } ];
+      }
+  done;
+  Catalog.add_table cat
+    {
+      Catalog.tbl_name = "fact";
+      rows = float_of_int fact_rows;
+      columns =
+        (List.init dims (fun d ->
+             Catalog.int_column
+               (Printf.sprintf "d%d_key" d)
+               ~distinct:(float_of_int dim_rows))
+        @ [ Catalog.int_column "measure" ~distinct:1000. ]);
+      indexes = [];
+    };
+  cat
+
+(* Star query: fact (index 0) joined to [dims] dimensions, a filter on each
+   of the first [filters] dimensions' attr column, aggregation on top. *)
+let star_query ?(filters = 1) ~dims cat =
+  ignore cat;
+  let rels =
+    ("fact", "f")
+    :: List.init dims (fun d -> (Printf.sprintf "d%d" d, Printf.sprintf "d%d" d))
+  in
+  let preds =
+    List.init dims (fun d ->
+        {
+          Query.jleft = 0;
+          jlcol = Printf.sprintf "d%d_key" d;
+          jright = d + 1;
+          jrcol = Printf.sprintf "d%d_key" d;
+          jsel = 1.0 /. 1000.;
+        })
+  in
+  let filters =
+    List.init (min filters dims) (fun d ->
+        { Query.frel = d + 1; fcol = "attr"; fop = Query.Le; fvalue = 49; fsel = 0.5 })
+  in
+  Query.make
+    ~id:(Printf.sprintf "star%d" dims)
+    ~rels ~preds ~filters
+    ~agg:(Some { Query.group_by = [ (1, "attr") ]; sum_cols = [ (0, "measure") ] })
+
+let chain_catalog ~len ~rows =
+  let cat = Catalog.create () in
+  for i = 0 to len - 1 do
+    let name = Printf.sprintf "t%d" i in
+    let next_fk =
+      if i < len - 1 then
+        [ Catalog.int_column (Printf.sprintf "t%d_key" (i + 1)) ~distinct:(float_of_int rows) ]
+      else []
+    in
+    Catalog.add_table cat
+      {
+        Catalog.tbl_name = name;
+        rows = float_of_int rows;
+        columns =
+          Catalog.int_column (name ^ "_key") ~distinct:(float_of_int rows)
+          :: Catalog.int_column "payload" ~distinct:50.
+          :: next_fk;
+        indexes =
+          [ { Catalog.idx_name = name ^ "_pk"; idx_columns = [ name ^ "_key" ]; clustered = true } ];
+      }
+  done;
+  cat
+
+let chain_query ~len cat =
+  ignore cat;
+  let rels = List.init len (fun i -> (Printf.sprintf "t%d" i, Printf.sprintf "t%d" i)) in
+  let preds =
+    List.init (len - 1) (fun i ->
+        {
+          Query.jleft = i;
+          jlcol = Printf.sprintf "t%d_key" (i + 1);
+          jright = i + 1;
+          jrcol = Printf.sprintf "t%d_key" (i + 1);
+          jsel = 1.0 /. 1000.;
+        })
+  in
+  Query.make ~id:(Printf.sprintf "chain%d" len) ~rels ~preds
+    ~filters:[ { Query.frel = 0; fcol = "payload"; fop = Query.Le; fvalue = 24; fsel = 0.5 } ]
+    ~agg:None
+
+let model = Cost.default
+
+(* ------------------------------------------------------------------ *)
+(* Relset *)
+
+let test_relset_basics () =
+  let s = Relset.add 4 (Relset.add 1 Relset.empty) in
+  Alcotest.(check bool) "mem" true (Relset.mem 1 s);
+  Alcotest.(check bool) "not mem" false (Relset.mem 2 s);
+  Alcotest.(check int) "cardinal" 2 (Relset.cardinal s);
+  Alcotest.(check (list int)) "members" [ 1; 4 ] (Relset.members s);
+  Alcotest.(check int) "min elt" 1 (Relset.min_elt s);
+  Alcotest.(check int) "full" 7 (Relset.full 3)
+
+let test_relset_subset_enumeration () =
+  let s = Relset.full 3 in
+  let subs = ref [] in
+  Relset.iter_strict_subsets s (fun x -> subs := x :: !subs);
+  (* 2^3 - 2 nonempty proper subsets. *)
+  Alcotest.(check int) "count" 6 (List.length !subs);
+  Alcotest.(check int) "distinct" 6 (List.length (List.sort_uniq compare !subs))
+
+(* EnumerateCsg must produce exactly the connected subsets, each once. *)
+let prop_connected_subsets_match_bruteforce =
+  QCheck.Test.make ~name:"connected_subsets = brute force" ~count:100
+    QCheck.(pair (int_range 2 6) (list_of_size Gen.(int_range 0 8) (pair (int_range 0 5) (int_range 0 5))))
+    (fun (n, edge_list) ->
+      (* Build a query over n relations with the given (deduped) edges,
+         adding a spanning chain so Query.make accepts it as connected. *)
+      let chain = List.init (n - 1) (fun i -> (i, i + 1)) in
+      let edges =
+        List.sort_uniq compare
+          (chain
+          @ List.filter_map
+              (fun (a, b) ->
+                let a = a mod n and b = b mod n in
+                if a = b then None else Some (min a b, max a b))
+              edge_list)
+      in
+      let cat = chain_catalog ~len:n ~rows:100 in
+      ignore cat;
+      let q =
+        Query.make ~id:"csg"
+          ~rels:(List.init n (fun i -> (Printf.sprintf "t%d" i, Printf.sprintf "r%d" i)))
+          ~preds:
+            (List.map
+               (fun (a, b) ->
+                 (* Column names need not exist in a catalog for pure graph
+                    operations. *)
+                 { Query.jleft = a; jlcol = "x"; jright = b; jrcol = "x"; jsel = 0.5 })
+               edges)
+          ~filters:[] ~agg:None
+      in
+      let full = Relset.full n in
+      let enumerated = List.sort compare (Query.connected_subsets q full) in
+      let brute = ref [] in
+      for s = 1 to full do
+        if Query.connected q s then brute := s :: !brute
+      done;
+      enumerated = List.sort compare !brute)
+
+let test_query_to_sql () =
+  let cat = star_catalog ~dims:2 ~fact_rows:1000 ~dim_rows:100 in
+  ignore cat;
+  let q = star_query ~dims:2 ~filters:1 cat in
+  let sql = Query.to_sql q in
+  List.iter
+    (fun fragment ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+        scan 0
+      in
+      Alcotest.(check bool) ("contains " ^ fragment) true (contains sql fragment))
+    [ "SELECT"; "FROM fact AS f"; "WHERE"; "GROUP BY"; "SUM(f.measure)";
+      "f.d0_key = d0.d0_key"; "fingerprint star2" ]
+
+let prop_relset_subsets_complete =
+  QCheck.Test.make ~name:"submask enumeration yields exactly the proper subsets"
+    ~count:100 (QCheck.int_range 1 255) (fun s ->
+      let subs = ref [] in
+      Relset.iter_strict_subsets s (fun x -> subs := x :: !subs);
+      let expected = ref [] in
+      for x = 1 to s - 1 do
+        if x land s = x then expected := x :: !expected
+      done;
+      List.sort compare !subs = List.sort compare !expected)
+
+(* ------------------------------------------------------------------ *)
+(* Card *)
+
+let test_card_star () =
+  let cat = star_catalog ~dims:2 ~fact_rows:10000 ~dim_rows:1000 in
+  let q = star_query ~dims:2 ~filters:1 cat in
+  let card = Card.create cat q in
+  (* fact base: 10000 (no filter). d0 filtered to 500. *)
+  Alcotest.(check (float 1.)) "fact base" 10000. (Card.base_rows card 0);
+  Alcotest.(check (float 1.)) "d0 filtered" 500. (Card.base_rows card 1);
+  (* fact x d0: 10000 * 500 / 1000 = 5000 *)
+  let s = Relset.add 1 (Relset.singleton 0) in
+  Alcotest.(check (float 1.)) "join card" 5000. (Card.card card s);
+  (* Full: 5000 * 1000/1000 = 5000 *)
+  Alcotest.(check (float 1.)) "full card" 5000. (Card.card card (Relset.full 3))
+
+let test_card_memoizes () =
+  let cat = star_catalog ~dims:3 ~fact_rows:1000 ~dim_rows:100 in
+  let q = star_query ~dims:3 cat in
+  let card = Card.create cat q in
+  ignore (Card.card card (Relset.full 4));
+  let size1 = Card.memo_size card in
+  ignore (Card.card card (Relset.full 4));
+  Alcotest.(check int) "no growth on repeat" size1 (Card.memo_size card)
+
+(* ------------------------------------------------------------------ *)
+(* Histograms *)
+
+let test_histogram_basics () =
+  let values = Array.init 1000 (fun i -> i) in
+  let h = Histogram.build ~buckets:10 values in
+  Alcotest.(check int) "sample" 1000 (Histogram.sample_size h);
+  Alcotest.(check int) "buckets" 10 (Histogram.n_buckets h);
+  Alcotest.(check int) "min" 0 (Histogram.min_value h);
+  Alcotest.(check int) "max" 999 (Histogram.max_value h);
+  Alcotest.(check (float 1e-9)) "le below range" 0. (Histogram.selectivity_le h (-1));
+  Alcotest.(check (float 1e-9)) "le at max" 1. (Histogram.selectivity_le h 999);
+  Alcotest.(check (float 1e-9)) "ge at min" 1. (Histogram.selectivity_ge h 0)
+
+let test_histogram_uniform_accuracy () =
+  let values = Array.init 10_000 (fun i -> i mod 100) in
+  let h = Histogram.build values in
+  (* P(v <= 24) = 0.25 exactly. *)
+  Alcotest.(check bool) "le estimate" true
+    (Float.abs (Histogram.selectivity_le h 24 -. 0.25) < 0.02);
+  (* P(v = 50) = 0.01. *)
+  Alcotest.(check bool) "eq estimate" true
+    (Float.abs (Histogram.selectivity_eq h 50 -. 0.01) < 0.005)
+
+let test_histogram_beats_uniform_on_skew () =
+  (* 90% of rows hold value 0, the rest spread over [1, 1000). *)
+  let rng = Sim.Rng.create 17 in
+  let values =
+    Array.init 10_000 (fun _ ->
+        if Sim.Rng.float rng 1.0 < 0.9 then 0 else 1 + Sim.Rng.int rng 999)
+  in
+  let truth_le0 =
+    float_of_int (Array.length (Array.of_list (List.filter (fun v -> v <= 0) (Array.to_list values))))
+    /. 10_000.
+  in
+  let col = Catalog.int_column "skewed" ~distinct:1000. in
+  let col_h = Catalog.with_histogram col values in
+  let hist_est = Query.filter_selectivity Query.Le 0 col_h in
+  let uniform_est = Query.filter_selectivity Query.Le 0 { col with Catalog.max_value = 999 } in
+  let err e = Float.abs (e -. truth_le0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "histogram err %.3f << uniform err %.3f" (err hist_est) (err uniform_est))
+    true
+    (err hist_est < 0.05 && err hist_est *. 10. < err uniform_est)
+
+let test_with_histogram_refreshes_stats () =
+  let col = Catalog.int_column "c" ~distinct:5. in
+  let col' = Catalog.with_histogram col [| 10; 20; 20; 30; 40; 40; 40 |] in
+  Alcotest.(check int) "min" 10 col'.Catalog.min_value;
+  Alcotest.(check int) "max" 40 col'.Catalog.max_value;
+  Alcotest.(check (float 1e-9)) "distinct" 4. col'.Catalog.distinct
+
+let prop_histogram_le_monotone =
+  QCheck.Test.make ~name:"histogram selectivity_le is monotone and bounded" ~count:60
+    QCheck.(list_of_size Gen.(int_range 1 200) (int_range (-50) 50))
+    (fun values ->
+      let h = Histogram.build (Array.of_list values) in
+      let prev = ref 0. in
+      let ok = ref true in
+      for v = -60 to 60 do
+        let s = Histogram.selectivity_le h v in
+        if s < !prev -. 1e-9 || s < 0. || s > 1. then ok := false;
+        prev := s
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Plans *)
+
+let test_plan_well_formed_greedy () =
+  let cat = star_catalog ~dims:5 ~fact_rows:100000 ~dim_rows:1000 in
+  let q = star_query ~dims:5 cat in
+  let card = Card.create cat q in
+  let plan = Greedy.plan model card in
+  Alcotest.(check bool) "well formed" true (Plan.well_formed plan ~n_rels:6);
+  Alcotest.(check bool) "cost positive" true (Plan.total_cost plan > 0.);
+  Alcotest.(check bool) "io pages positive" true (Plan.io_pages plan > 0.);
+  Alcotest.(check bool) "has grant (hash somewhere)" true (Plan.grant_bytes plan > 0);
+  Alcotest.(check bool) "plan size positive" true (Plan.size_bytes plan > 0)
+
+let test_plan_index_scan_cheaper_when_selective () =
+  let cat = chain_catalog ~len:2 ~rows:1_000_000 in
+  let q =
+    Query.make ~id:"sel" ~rels:[ ("t0", "a"); ("t1", "b") ]
+      ~preds:
+        [ { Query.jleft = 0; jlcol = "t1_key"; jright = 1; jrcol = "t1_key"; jsel = 1e-6 } ]
+      ~filters:
+        [ { Query.frel = 1; fcol = "t1_key"; fop = Query.Eq; fvalue = 42; fsel = 1e-6 } ]
+      ~agg:None
+  in
+  let card = Card.create cat q in
+  let seq = Plan.seq_scan model card 1 in
+  match Plan.index_scan model card 1 with
+  | Some idx ->
+      Alcotest.(check bool) "index beats seq for point lookup" true
+        (Plan.total_cost idx < Plan.total_cost seq)
+  | None -> Alcotest.fail "expected an index scan alternative"
+
+let test_plan_hash_join_mem_scales () =
+  let cat = star_catalog ~dims:1 ~fact_rows:1_000_000 ~dim_rows:50_000 in
+  let q = star_query ~dims:1 ~filters:0 cat in
+  let card = Card.create cat q in
+  let fact = Plan.seq_scan model card 0 and dim = Plan.seq_scan model card 1 in
+  let rows = Card.card card (Relset.full 2) in
+  let small_build = Plan.hash_join model ~rows ~build:dim ~probe:fact in
+  let big_build = Plan.hash_join model ~rows ~build:fact ~probe:dim in
+  Alcotest.(check bool) "building on smaller side needs less memory" true
+    (small_build.Plan.mem_bytes < big_build.Plan.mem_bytes);
+  Alcotest.(check bool) "and costs less" true
+    (Plan.total_cost small_build < Plan.total_cost big_build)
+
+(* ------------------------------------------------------------------ *)
+(* DP vs Cascades *)
+
+let cascades_complete ?(params = Cascades.default_params) cat q =
+  let params = { params with Cascades.max_tasks = 2_000_000; min_tasks = 2_000_000 } in
+  match Cascades.optimize ~params ~env:Env.null model cat q with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "cascades failed: %s" (Format.asprintf "%a" Env.pp_abort_reason e)
+
+let test_cascades_complete_matches_dp_star () =
+  List.iter
+    (fun dims ->
+      let cat = star_catalog ~dims ~fact_rows:200_000 ~dim_rows:2_000 in
+      let q = star_query ~dims cat in
+      let card = Card.create cat q in
+      let dp = Dp.optimize model card in
+      let casc = cascades_complete cat q in
+      Alcotest.(check bool)
+        (Printf.sprintf "complete search (star %d)" dims)
+        true
+        (casc.Cascades.outcome = Cascades.Complete);
+      Alcotest.(check (float 1e-3))
+        (Printf.sprintf "dp cost = cascades cost (star %d)" dims)
+        (Plan.total_cost dp)
+        (Plan.total_cost casc.Cascades.plan))
+    [ 2; 3; 4; 5 ]
+
+let test_cascades_complete_matches_dp_chain () =
+  List.iter
+    (fun len ->
+      let cat = chain_catalog ~len ~rows:50_000 in
+      let q = chain_query ~len cat in
+      let card = Card.create cat q in
+      let dp = Dp.optimize model card in
+      let casc = cascades_complete cat q in
+      Alcotest.(check (float 1e-3))
+        (Printf.sprintf "dp = cascades (chain %d)" len)
+        (Plan.total_cost dp)
+        (Plan.total_cost casc.Cascades.plan))
+    [ 2; 3; 5; 7 ]
+
+let test_dp_beats_or_matches_greedy () =
+  let cat = star_catalog ~dims:6 ~fact_rows:500_000 ~dim_rows:3_000 in
+  let q = star_query ~dims:6 ~filters:3 cat in
+  let card = Card.create cat q in
+  let dp = Dp.optimize model card in
+  let greedy = Greedy.plan model card in
+  Alcotest.(check bool) "dp <= greedy" true
+    (Plan.total_cost dp <= Plan.total_cost greedy +. 1e-6)
+
+let test_dp_rejects_large () =
+  let cat = star_catalog ~dims:15 ~fact_rows:1000 ~dim_rows:10 in
+  let q = star_query ~dims:15 cat in
+  let card = Card.create cat q in
+  Alcotest.(check bool) "refuses > max_rels" true
+    (try
+       ignore (Dp.optimize model card);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Cascades mechanics *)
+
+let test_cascades_budget_exhaustion_returns_plan () =
+  let cat = star_catalog ~dims:12 ~fact_rows:10_000_000 ~dim_rows:10_000 in
+  let q = star_query ~dims:12 ~filters:4 cat in
+  let params = { Cascades.default_params with Cascades.max_tasks = 200; min_tasks = 1 } in
+  match Cascades.optimize ~params ~env:Env.null model cat q with
+  | Ok r ->
+      Alcotest.(check bool) "budget outcome" true (r.Cascades.outcome = Cascades.Budget_exhausted);
+      Alcotest.(check bool) "still a full plan" true
+        (Plan.well_formed
+           (match r.Cascades.plan.Plan.node with
+           | Plan.Hash_agg (c, _, _) -> c
+           | Plan.Stream_agg (c, _, _) -> (
+               match c.Plan.node with Plan.Sort inner -> inner | _ -> c)
+           | _ -> r.Cascades.plan)
+           ~n_rels:13)
+  | Error _ -> Alcotest.fail "should not abort"
+
+let test_cascades_more_effort_never_worse () =
+  let cat = star_catalog ~dims:8 ~fact_rows:1_000_000 ~dim_rows:5_000 in
+  let q = star_query ~dims:8 ~filters:3 cat in
+  let run budget =
+    let params =
+      { Cascades.default_params with Cascades.max_tasks = budget; min_tasks = budget }
+    in
+    match Cascades.optimize ~params ~env:Env.null model cat q with
+    | Ok r -> Plan.total_cost r.Cascades.plan
+    | Error _ -> Alcotest.fail "abort"
+  in
+  let c_small = run 50 and c_big = run 50_000 in
+  Alcotest.(check bool) "more search never worse" true (c_big <= c_small +. 1e-6)
+
+let test_cascades_meters_memory_and_cpu () =
+  let cat = star_catalog ~dims:6 ~fact_rows:500_000 ~dim_rows:2_000 in
+  let q = star_query ~dims:6 cat in
+  let bytes = ref 0 and cpu = ref 0. in
+  let env = Env.counting ~bytes ~cpu_seconds:cpu in
+  match Cascades.optimize ~env model cat q with
+  | Ok r ->
+      Alcotest.(check int) "env saw the same bytes" r.Cascades.stats.Cascades.allocated_bytes !bytes;
+      Alcotest.(check bool) "bytes substantial" true (!bytes > 100_000);
+      Alcotest.(check bool) "cpu consumed" true (!cpu > 0.)
+  | Error _ -> Alcotest.fail "abort"
+
+let test_cascades_memory_grows_with_query_size () =
+  let alloc dims =
+    let cat = star_catalog ~dims ~fact_rows:1_000_000 ~dim_rows:5_000 in
+    let q = star_query ~dims cat in
+    match Cascades.optimize ~env:Env.null model cat q with
+    | Ok r -> r.Cascades.stats.Cascades.allocated_bytes
+    | Error _ -> Alcotest.fail "abort"
+  in
+  let small = alloc 3 and big = alloc 9 in
+  Alcotest.(check bool)
+    (Printf.sprintf "9-dim query allocates much more (%d vs %d)" big small)
+    true
+    (big > 5 * small)
+
+let test_cascades_stop_early () =
+  let cat = star_catalog ~dims:10 ~fact_rows:1_000_000 ~dim_rows:5_000 in
+  let q = star_query ~dims:10 cat in
+  let calls = ref 0 in
+  let env =
+    {
+      Env.alloc = (fun _ -> ());
+      cpu = (fun _ -> ());
+      should_stop = (fun () -> incr calls; !calls > 50);
+    }
+  in
+  (match Cascades.optimize ~env model cat q with
+  | Ok r ->
+      Alcotest.(check bool) "stopped early" true (r.Cascades.outcome = Cascades.Stopped_early)
+  | Error _ -> Alcotest.fail "abort");
+  (* Ablation: ignoring the signal searches on. *)
+  calls := 0;
+  let params = { Cascades.default_params with Cascades.honor_stop_early = false } in
+  match Cascades.optimize ~params ~env model cat q with
+  | Ok r ->
+      Alcotest.(check bool) "pressure ignored" true
+        (r.Cascades.outcome <> Cascades.Stopped_early)
+  | Error _ -> Alcotest.fail "abort"
+
+let test_cascades_abort_propagates () =
+  let cat = star_catalog ~dims:8 ~fact_rows:1_000_000 ~dim_rows:5_000 in
+  let q = star_query ~dims:8 cat in
+  let total = ref 0 in
+  let env =
+    {
+      Env.alloc =
+        (fun n ->
+          total := !total + n;
+          if !total > 200_000 then raise (Env.Aborted Env.Out_of_memory));
+      cpu = (fun _ -> ());
+      should_stop = (fun () -> false);
+    }
+  in
+  match Cascades.optimize ~env model cat q with
+  | Error Env.Out_of_memory -> ()
+  | Error e -> Alcotest.failf "wrong reason: %s" (Format.asprintf "%a" Env.pp_abort_reason e)
+  | Ok _ -> Alcotest.fail "expected abort"
+
+let test_cascades_dynamic_budget () =
+  let budget_for fact_rows =
+    let cat = star_catalog ~dims:6 ~fact_rows ~dim_rows:1_000 in
+    let q = star_query ~dims:6 cat in
+    match Cascades.optimize ~env:Env.null model cat q with
+    | Ok r -> r.Cascades.stats.Cascades.budget
+    | Error _ -> Alcotest.fail "abort"
+  in
+  let cheap = budget_for 10_000 and expensive = budget_for 100_000_000 in
+  Alcotest.(check bool) "dynamic optimization: costlier query gets bigger budget"
+    true (expensive > cheap)
+
+(* ------------------------------------------------------------------ *)
+(* Row-level validation of optimizer plans *)
+
+let validate_plans ~seed cat q =
+  let rng = Sim.Rng.create seed in
+  let inst = Bridge.materialize rng cat ~scale:0.01 ~cap:60 () in
+  let card = Card.create cat q in
+  let check name plan =
+    match Bridge.validate inst q plan with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "%s: %s" name msg
+  in
+  check "greedy" (Greedy.plan model card);
+  check "dp" (Dp.optimize model card);
+  let casc = cascades_complete cat q in
+  check "cascades" casc.Cascades.plan
+
+let test_plans_validated_star () =
+  let cat = star_catalog ~dims:3 ~fact_rows:5_000 ~dim_rows:500 in
+  let q = star_query ~dims:3 ~filters:2 cat in
+  validate_plans ~seed:11 cat q
+
+let test_plans_validated_chain () =
+  let cat = chain_catalog ~len:4 ~rows:2_000 in
+  let q = chain_query ~len:4 cat in
+  validate_plans ~seed:13 cat q
+
+let prop_random_star_plans_validate =
+  QCheck.Test.make ~name:"optimized plans match reference on random stars" ~count:15
+    QCheck.(pair (int_range 2 4) (int_range 0 10_000))
+    (fun (dims, seed) ->
+      let cat = star_catalog ~dims ~fact_rows:3_000 ~dim_rows:300 in
+      let q = star_query ~dims ~filters:(min dims 2) cat in
+      let rng = Sim.Rng.create seed in
+      let inst = Bridge.materialize rng cat ~scale:0.02 ~cap:50 () in
+      let card = Card.create cat q in
+      let plans =
+        [ Greedy.plan model card; Dp.optimize model card;
+          (cascades_complete cat q).Cascades.plan ]
+      in
+      List.for_all (fun p -> Bridge.validate inst q p = Ok ()) plans)
+
+let suite =
+  [
+    ("relset basics", `Quick, test_relset_basics);
+    ("relset subset enumeration", `Quick, test_relset_subset_enumeration);
+    ("card star", `Quick, test_card_star);
+    ("card memoizes", `Quick, test_card_memoizes);
+    ("greedy plan well formed", `Quick, test_plan_well_formed_greedy);
+    ("index scan cheaper when selective", `Quick, test_plan_index_scan_cheaper_when_selective);
+    ("hash join memory scales with build", `Quick, test_plan_hash_join_mem_scales);
+    ("cascades = dp on stars", `Slow, test_cascades_complete_matches_dp_star);
+    ("cascades = dp on chains", `Slow, test_cascades_complete_matches_dp_chain);
+    ("dp beats or matches greedy", `Quick, test_dp_beats_or_matches_greedy);
+    ("dp rejects large queries", `Quick, test_dp_rejects_large);
+    ("cascades budget exhaustion returns plan", `Quick, test_cascades_budget_exhaustion_returns_plan);
+    ("cascades more effort never worse", `Slow, test_cascades_more_effort_never_worse);
+    ("cascades meters memory and cpu", `Quick, test_cascades_meters_memory_and_cpu);
+    ("cascades memory grows with query size", `Slow, test_cascades_memory_grows_with_query_size);
+    ("cascades stop early", `Quick, test_cascades_stop_early);
+    ("cascades abort propagates", `Quick, test_cascades_abort_propagates);
+    ("cascades dynamic budget", `Quick, test_cascades_dynamic_budget);
+    ("plans validated on star", `Quick, test_plans_validated_star);
+    ("plans validated on chain", `Quick, test_plans_validated_chain);
+    ("query to_sql", `Quick, test_query_to_sql);
+    ("histogram basics", `Quick, test_histogram_basics);
+    ("histogram uniform accuracy", `Quick, test_histogram_uniform_accuracy);
+    ("histogram beats uniform on skew", `Quick, test_histogram_beats_uniform_on_skew);
+    ("with_histogram refreshes stats", `Quick, test_with_histogram_refreshes_stats);
+    QCheck_alcotest.to_alcotest prop_histogram_le_monotone;
+    QCheck_alcotest.to_alcotest prop_relset_subsets_complete;
+    QCheck_alcotest.to_alcotest prop_connected_subsets_match_bruteforce;
+    QCheck_alcotest.to_alcotest prop_random_star_plans_validate;
+  ]

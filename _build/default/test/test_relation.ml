@@ -1,0 +1,188 @@
+(* Tests for the row-level relational kernel. *)
+
+open Relation
+
+let v_int n = Value.Int n
+let v_str s = Value.String s
+
+(* ------------------------------------------------------------------ *)
+(* Value *)
+
+let test_value_compare () =
+  Alcotest.(check bool) "int order" true (Value.compare (v_int 1) (v_int 2) < 0);
+  Alcotest.(check bool) "int/float cross" true
+    (Value.compare (v_int 1) (Value.Float 1.5) < 0);
+  Alcotest.(check bool) "equal cross" true (Value.equal (v_int 2) (Value.Float 2.));
+  Alcotest.(check bool) "null smallest" true
+    (Value.compare Value.Null (v_int min_int) < 0);
+  Alcotest.(check bool) "null equals null" true (Value.equal Value.Null Value.Null)
+
+let test_value_types () =
+  Alcotest.(check bool) "int ty" true (Value.type_of (v_int 1) = Some Value.Tint);
+  Alcotest.(check bool) "null ty" true (Value.type_of Value.Null = None);
+  Alcotest.(check bool) "null conforms" true (Value.conforms Value.Null Value.Tstring);
+  Alcotest.(check bool) "mismatch" false (Value.conforms (v_int 1) Value.Tstring)
+
+(* ------------------------------------------------------------------ *)
+(* Schema *)
+
+let abc = Schema.make [ ("a", Value.Tint); ("b", Value.Tstring); ("c", Value.Tfloat) ]
+
+let test_schema_basics () =
+  Alcotest.(check int) "arity" 3 (Schema.arity abc);
+  Alcotest.(check int) "index" 1 (Schema.index_of abc "b");
+  Alcotest.(check (option int)) "find missing" None (Schema.find_index abc "z");
+  Alcotest.(check (list string)) "names" [ "a"; "b"; "c" ] (Schema.names abc)
+
+let test_schema_duplicate_rejected () =
+  Alcotest.(check bool) "dup" true
+    (try
+       ignore (Schema.make [ ("x", Value.Tint); ("x", Value.Tint) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_schema_concat_renames () =
+  let s = Schema.concat abc abc in
+  Alcotest.(check int) "arity" 6 (Schema.arity s);
+  Alcotest.(check (list string)) "renamed"
+    [ "a"; "b"; "c"; "a_r"; "b_r"; "c_r" ]
+    (Schema.names s)
+
+let test_schema_project () =
+  let s = Schema.project abc [ 2; 0 ] in
+  Alcotest.(check (list string)) "projected" [ "c"; "a" ] (Schema.names s)
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let small_schema = Schema.make [ ("id", Value.Tint); ("name", Value.Tstring) ]
+
+let small_table =
+  Table.create small_schema
+    [ [| v_int 1; v_str "x" |]; [| v_int 2; v_str "y" |] ]
+
+let test_table_create_checks_types () =
+  Alcotest.(check bool) "bad row rejected" true
+    (try
+       ignore (Table.create small_schema [ [| v_str "oops"; v_str "x" |] ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad arity rejected" true
+    (try
+       ignore (Table.create small_schema [ [| v_int 1 |] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_table_equal_bag () =
+  let t1 =
+    Table.create small_schema
+      [ [| v_int 1; v_str "x" |]; [| v_int 2; v_str "y" |] ]
+  in
+  let t2 =
+    Table.create small_schema
+      [ [| v_int 2; v_str "y" |]; [| v_int 1; v_str "x" |] ]
+  in
+  Alcotest.(check bool) "order insensitive" true (Table.equal_bag t1 t2);
+  let t3 =
+    Table.create small_schema
+      [ [| v_int 1; v_str "x" |]; [| v_int 1; v_str "x" |] ]
+  in
+  Alcotest.(check bool) "multiplicity matters" false (Table.equal_bag t1 t3)
+
+(* ------------------------------------------------------------------ *)
+(* Expr *)
+
+let test_expr_eval () =
+  let row = [| v_int 10; v_str "abc"; Value.Float 2.5 |] in
+  let open Expr in
+  Alcotest.(check bool) "col cmp" true (eval_bool (Col 0 >% int 5) row);
+  Alcotest.(check bool) "and" true (eval_bool ((Col 0 =% int 10) &&% (Col 1 =% str "abc")) row);
+  Alcotest.(check bool) "or short" true (eval_bool ((Col 0 =% int 10) ||% (Col 0 =% int 99)) row);
+  Alcotest.(check bool) "not" false (eval_bool (Not (Col 0 =% int 10)) row);
+  (match eval (Arith (Add, Col 0, int 5)) row with
+  | Value.Int 15 -> ()
+  | v -> Alcotest.failf "add: %s" (Value.to_string v));
+  match eval (Arith (Mul, Col 2, Const (Value.Float 2.))) row with
+  | Value.Float f -> Alcotest.(check (float 1e-9)) "mul float" 5.0 f
+  | v -> Alcotest.failf "mul: %s" (Value.to_string v)
+
+let test_expr_null_semantics () =
+  let row = [| Value.Null; v_int 1 |] in
+  let open Expr in
+  Alcotest.(check bool) "null cmp false" false (eval_bool (Col 0 =% Col 0) row);
+  (match eval (Arith (Add, Col 0, Col 1)) row with
+  | Value.Null -> ()
+  | v -> Alcotest.failf "null arith: %s" (Value.to_string v));
+  match eval (Arith (Div, Col 1, int 0)) row with
+  | Value.Null -> ()
+  | v -> Alcotest.failf "div by zero: %s" (Value.to_string v)
+
+let test_expr_shift () =
+  let row = [| v_int 0; v_int 1; v_int 5; v_int 5 |] in
+  let e = Expr.(Col 0 =% Col 1) in
+  Alcotest.(check bool) "shifted" true (Expr.eval_bool (Expr.shift 2 e) row);
+  Alcotest.(check bool) "unshifted" false (Expr.eval_bool e row)
+
+let test_expr_type_errors () =
+  let row = [| v_str "x" |] in
+  Alcotest.(check bool) "string arith rejected" true
+    (try
+       ignore (Expr.eval (Expr.Arith (Expr.Add, Expr.Col 0, Expr.Col 0)) row);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Datagen *)
+
+let test_datagen_deterministic () =
+  let schema = Schema.make [ ("k", Value.Tint); ("v", Value.Tint) ] in
+  let gen seed =
+    Datagen.table (Sim.Rng.create seed) schema
+      [ Datagen.Serial; Datagen.Uniform_int (0, 99) ]
+      ~rows:50
+  in
+  Alcotest.(check bool) "same seed same data" true (Table.equal_bag (gen 1) (gen 1));
+  Alcotest.(check bool) "different seed different data" false
+    (Table.equal_bag (gen 1) (gen 2))
+
+let test_datagen_serial_and_ranges () =
+  let schema =
+    Schema.make [ ("k", Value.Tint); ("fk", Value.Tint); ("x", Value.Tint) ]
+  in
+  let t =
+    Datagen.table (Sim.Rng.create 3) schema
+      [ Datagen.Serial; Datagen.Foreign_key 7; Datagen.Uniform_int (10, 20) ]
+      ~rows:100
+  in
+  Array.iteri
+    (fun i row ->
+      (match Tuple.get row 0 with
+      | Value.Int k -> Alcotest.(check int) "serial" i k
+      | _ -> Alcotest.fail "serial not int");
+      (match Tuple.get row 1 with
+      | Value.Int fk -> Alcotest.(check bool) "fk in range" true (fk >= 0 && fk < 7)
+      | _ -> Alcotest.fail "fk not int");
+      match Tuple.get row 2 with
+      | Value.Int x -> Alcotest.(check bool) "uniform in range" true (x >= 10 && x <= 20)
+      | _ -> Alcotest.fail "x not int")
+    (Table.rows t)
+
+let _ = small_table
+
+let suite =
+  [
+    ("value compare", `Quick, test_value_compare);
+    ("value types", `Quick, test_value_types);
+    ("schema basics", `Quick, test_schema_basics);
+    ("schema duplicate rejected", `Quick, test_schema_duplicate_rejected);
+    ("schema concat renames", `Quick, test_schema_concat_renames);
+    ("schema project", `Quick, test_schema_project);
+    ("table type checking", `Quick, test_table_create_checks_types);
+    ("table equal bag", `Quick, test_table_equal_bag);
+    ("expr eval", `Quick, test_expr_eval);
+    ("expr null semantics", `Quick, test_expr_null_semantics);
+    ("expr shift", `Quick, test_expr_shift);
+    ("expr type errors", `Quick, test_expr_type_errors);
+    ("datagen deterministic", `Quick, test_datagen_deterministic);
+    ("datagen serial and ranges", `Quick, test_datagen_serial_and_ranges);
+  ]

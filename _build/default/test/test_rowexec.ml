@@ -1,0 +1,225 @@
+(* Tests for the reference row-execution engine: every join algorithm and
+   aggregation strategy must agree with the naive nested-loop evaluation. *)
+
+open Relation
+open Rowexec
+
+let v = fun n -> Value.Int n
+
+let customers =
+  Table.create
+    (Schema.make [ ("c_key", Value.Tint); ("c_region", Value.Tint) ])
+    [
+      [| v 0; v 10 |]; [| v 1; v 20 |]; [| v 2; v 10 |]; [| v 3; v 30 |];
+    ]
+
+let orders =
+  Table.create
+    (Schema.make
+       [ ("o_key", Value.Tint); ("o_cust", Value.Tint); ("o_amount", Value.Tint) ])
+    [
+      [| v 100; v 0; v 5 |];
+      [| v 101; v 1; v 7 |];
+      [| v 102; v 0; v 11 |];
+      [| v 103; v 2; v 2 |];
+      [| v 104; v 9; v 99 |] (* dangling customer: matches nothing *);
+    ]
+
+let join_pred =
+  (* customers.c_key = orders.o_cust over the concatenated tuple *)
+  Expr.(Cmp (Eq, Col 0, Col 3))
+
+let nlj = Operator.Nested_loop_join (join_pred, Operator.Scan customers, Operator.Scan orders)
+let hj = Operator.Hash_join ([ (0, 1) ], Operator.Scan customers, Operator.Scan orders)
+let mj = Operator.Merge_join ([ (0, 1) ], Operator.Scan customers, Operator.Scan orders)
+
+let test_join_algorithms_agree () =
+  let reference = Operator.execute nlj in
+  Alcotest.(check int) "nlj row count" 4 (Table.cardinality reference);
+  Alcotest.(check bool) "hash = nlj" true (Table.equal_bag reference (Operator.execute hj));
+  Alcotest.(check bool) "merge = nlj" true (Table.equal_bag reference (Operator.execute mj))
+
+let test_join_schema () =
+  let s = Operator.schema hj in
+  Alcotest.(check (list string)) "concat schema"
+    [ "c_key"; "c_region"; "o_key"; "o_cust"; "o_amount" ]
+    (Schema.names s)
+
+let test_join_duplicates () =
+  (* Many-to-many: two rows with the same key on each side -> 4 outputs. *)
+  let s = Schema.make [ ("k", Value.Tint) ] in
+  let l = Table.create s [ [| v 1 |]; [| v 1 |]; [| v 2 |] ] in
+  let r = Table.create s [ [| v 1 |]; [| v 1 |]; [| v 3 |] ] in
+  let hash = Operator.execute (Operator.Hash_join ([ (0, 0) ], Operator.Scan l, Operator.Scan r)) in
+  let merge = Operator.execute (Operator.Merge_join ([ (0, 0) ], Operator.Scan l, Operator.Scan r)) in
+  Alcotest.(check int) "hash many-to-many" 4 (Table.cardinality hash);
+  Alcotest.(check bool) "merge agrees" true (Table.equal_bag hash merge)
+
+let test_join_null_keys_never_match () =
+  let s = Schema.make [ ("k", Value.Tint) ] in
+  let l = Table.create s [ [| Value.Null |]; [| v 1 |] ] in
+  let r = Table.create s [ [| Value.Null |]; [| v 1 |] ] in
+  let hash = Operator.execute (Operator.Hash_join ([ (0, 0) ], Operator.Scan l, Operator.Scan r)) in
+  Alcotest.(check int) "only non-null matches" 1 (Table.cardinality hash);
+  let merge = Operator.execute (Operator.Merge_join ([ (0, 0) ], Operator.Scan l, Operator.Scan r)) in
+  Alcotest.(check bool) "merge agrees on nulls" true (Table.equal_bag hash merge)
+
+let test_multi_key_join () =
+  let s = Schema.make [ ("a", Value.Tint); ("b", Value.Tint) ] in
+  let l = Table.create s [ [| v 1; v 1 |]; [| v 1; v 2 |]; [| v 2; v 1 |] ] in
+  let r = Table.create s [ [| v 1; v 1 |]; [| v 1; v 9 |]; [| v 2; v 1 |] ] in
+  let hash =
+    Operator.execute (Operator.Hash_join ([ (0, 0); (1, 1) ], Operator.Scan l, Operator.Scan r))
+  in
+  Alcotest.(check int) "both keys must match" 2 (Table.cardinality hash);
+  let nl =
+    Operator.execute
+      (Operator.Nested_loop_join
+         ( Expr.(Cmp (Eq, Col 0, Col 2) &&% Cmp (Eq, Col 1, Col 3)),
+           Operator.Scan l, Operator.Scan r ))
+  in
+  Alcotest.(check bool) "nlj agrees" true (Table.equal_bag hash nl)
+
+let test_filter_and_project () =
+  let op =
+    Operator.Project
+      ( [ 1 ],
+        Operator.Filter
+          (Expr.(Cmp (Ge, Col 2, Const (Value.Int 7))), Operator.Scan orders) )
+  in
+  let out = Operator.execute op in
+  Alcotest.(check int) "rows" 3 (Table.cardinality out);
+  Alcotest.(check (list string)) "schema" [ "o_cust" ] (Schema.names (Table.schema out))
+
+let test_sort () =
+  let out = Operator.execute (Operator.Sort ([ 2 ], Operator.Scan orders)) in
+  let amounts =
+    Array.to_list
+      (Array.map
+         (fun r -> match Tuple.get r 2 with Value.Int n -> n | _ -> -1)
+         (Table.rows out))
+  in
+  Alcotest.(check (list int)) "sorted by amount" [ 2; 5; 7; 11; 99 ] amounts
+
+let test_limit () =
+  let out = Operator.execute (Operator.Limit (2, Operator.Scan orders)) in
+  Alcotest.(check int) "limited" 2 (Table.cardinality out);
+  let all = Operator.execute (Operator.Limit (100, Operator.Scan orders)) in
+  Alcotest.(check int) "limit beyond size" 5 (Table.cardinality all)
+
+let test_hash_aggregate () =
+  (* Group orders by customer: count and total amount. *)
+  let op =
+    Operator.Hash_aggregate ([ 1 ], [ Operator.Count; Operator.Sum 2 ], Operator.Scan orders)
+  in
+  let out = Operator.execute op in
+  Alcotest.(check int) "4 groups" 4 (Table.cardinality out);
+  let expected =
+    Table.create (Table.schema out)
+      [
+        [| v 0; v 2; v 16 |];
+        [| v 1; v 1; v 7 |];
+        [| v 2; v 1; v 2 |];
+        [| v 9; v 1; v 99 |];
+      ]
+  in
+  Alcotest.(check bool) "group results" true (Table.equal_bag out expected)
+
+let test_stream_aggregate_matches_hash () =
+  let groups = [ 1 ] and aggs = [ Operator.Count; Operator.Sum 2; Operator.Max 2 ] in
+  let hash = Operator.execute (Operator.Hash_aggregate (groups, aggs, Operator.Scan orders)) in
+  let stream =
+    Operator.execute
+      (Operator.Stream_aggregate (groups, aggs, Operator.Sort (groups, Operator.Scan orders)))
+  in
+  Alcotest.(check bool) "stream = hash" true (Table.equal_bag hash stream)
+
+let test_scalar_aggregate () =
+  let op =
+    Operator.Hash_aggregate
+      ([], [ Operator.Count; Operator.Sum 2; Operator.Min 2; Operator.Avg 2 ], Operator.Scan orders)
+  in
+  let out = Operator.execute op in
+  Alcotest.(check int) "one row" 1 (Table.cardinality out);
+  let row = Table.nth out 0 in
+  (match Tuple.get row 0 with
+  | Value.Int 5 -> ()
+  | x -> Alcotest.failf "count: %s" (Value.to_string x));
+  (match Tuple.get row 1 with
+  | Value.Int 124 -> ()
+  | x -> Alcotest.failf "sum: %s" (Value.to_string x));
+  (match Tuple.get row 2 with
+  | Value.Int 2 -> ()
+  | x -> Alcotest.failf "min: %s" (Value.to_string x));
+  match Tuple.get row 3 with
+  | Value.Float avg -> Alcotest.(check (float 1e-9)) "avg" 24.8 avg
+  | x -> Alcotest.failf "avg: %s" (Value.to_string x)
+
+let test_scalar_aggregate_empty_input () =
+  let empty = Table.create (Table.schema orders) [] in
+  let op = Operator.Hash_aggregate ([], [ Operator.Count ], Operator.Scan empty) in
+  let out = Operator.execute op in
+  Alcotest.(check int) "one row" 1 (Table.cardinality out);
+  match Tuple.get (Table.nth out 0) 0 with
+  | Value.Int 0 -> ()
+  | x -> Alcotest.failf "count of empty: %s" (Value.to_string x)
+
+let test_grouped_aggregate_empty_input () =
+  let empty = Table.create (Table.schema orders) [] in
+  let op = Operator.Hash_aggregate ([ 1 ], [ Operator.Count ], Operator.Scan empty) in
+  Alcotest.(check int) "no groups" 0 (Table.cardinality (Operator.execute op))
+
+let test_empty_join_inputs () =
+  let empty = Table.create (Table.schema customers) [] in
+  let hj = Operator.Hash_join ([ (0, 1) ], Operator.Scan empty, Operator.Scan orders) in
+  Alcotest.(check int) "empty build" 0 (Table.cardinality (Operator.execute hj));
+  let mj = Operator.Merge_join ([ (0, 1) ], Operator.Scan customers, Operator.Scan (Table.create (Table.schema orders) [])) in
+  Alcotest.(check int) "empty probe" 0 (Table.cardinality (Operator.execute mj))
+
+(* Property: on random data, the three join algorithms agree. *)
+let prop_joins_agree =
+  QCheck.Test.make ~name:"hash/merge/nlj joins agree on random data" ~count:60
+    QCheck.(triple small_nat small_nat (int_range 1 6))
+    (fun (nl, nr, key_range) ->
+      let rng = QCheck.Gen.int_range 0 10000 in
+      ignore rng;
+      let seed = (nl * 7919) + (nr * 104729) + key_range in
+      let r = Sim.Rng.create seed in
+      let s = Schema.make [ ("k", Value.Tint); ("p", Value.Tint) ] in
+      let mk n =
+        Table.of_array s
+          (Array.init n (fun i ->
+               [| Value.Int (Sim.Rng.int r (max 1 key_range)); Value.Int i |]))
+      in
+      let l = mk (min nl 40) and rt = mk (min nr 40) in
+      let nlj_out =
+        Operator.execute
+          (Operator.Nested_loop_join
+             (Expr.(Cmp (Eq, Col 0, Col 2)), Operator.Scan l, Operator.Scan rt))
+      in
+      let hash_out =
+        Operator.execute (Operator.Hash_join ([ (0, 0) ], Operator.Scan l, Operator.Scan rt))
+      in
+      let merge_out =
+        Operator.execute (Operator.Merge_join ([ (0, 0) ], Operator.Scan l, Operator.Scan rt))
+      in
+      Table.equal_bag nlj_out hash_out && Table.equal_bag nlj_out merge_out)
+
+let suite =
+  [
+    ("join algorithms agree", `Quick, test_join_algorithms_agree);
+    ("join schema", `Quick, test_join_schema);
+    ("join duplicates", `Quick, test_join_duplicates);
+    ("join null keys", `Quick, test_join_null_keys_never_match);
+    ("multi-key join", `Quick, test_multi_key_join);
+    ("filter and project", `Quick, test_filter_and_project);
+    ("sort", `Quick, test_sort);
+    ("limit", `Quick, test_limit);
+    ("hash aggregate", `Quick, test_hash_aggregate);
+    ("stream aggregate matches hash", `Quick, test_stream_aggregate_matches_hash);
+    ("scalar aggregate", `Quick, test_scalar_aggregate);
+    ("scalar aggregate empty input", `Quick, test_scalar_aggregate_empty_input);
+    ("grouped aggregate empty input", `Quick, test_grouped_aggregate_empty_input);
+    ("empty join inputs", `Quick, test_empty_join_inputs);
+    QCheck_alcotest.to_alcotest prop_joins_agree;
+  ]
