@@ -231,6 +231,130 @@ let sql_cmd =
     (Cmd.info "sql" ~doc:"Print uniquified query instances as SQL text.")
     Term.(const action $ count_arg $ workload_arg $ seed_arg)
 
+let chaos_cmd =
+  let clients_arg =
+    Arg.(value & opt int 35 & info [ "clients"; "c" ] ~doc:"Number of concurrent clients.")
+  in
+  let warmup_arg =
+    Arg.(value & opt float 60. & info [ "warmup" ] ~doc:"Warm-up seconds (excluded from results).")
+  in
+  let measure_arg =
+    Arg.(value & opt float 1000. & info [ "measure" ] ~doc:"Measured window, seconds.")
+  in
+  let ballast_gib =
+    Arg.(
+      value
+      & opt float 12.
+      & info [ "ballast-gib" ]
+          ~doc:"Ballast appetite, GiB (0 disables). May exceed physical \
+                memory: the ramp then absorbs whatever other components \
+                release, like a runaway external process.")
+  in
+  let ballast_at =
+    Arg.(value & opt float 100. & info [ "ballast-at" ] ~doc:"Ballast spike start, seconds of sim time.")
+  in
+  let ballast_hold =
+    Arg.(value & opt float 0. & info [ "ballast-hold" ] ~doc:"Seconds the ballast holds after its ramp.")
+  in
+  let ballast_steps =
+    Arg.(value & opt int 240 & info [ "ballast-steps" ] ~doc:"Ballast ramp increments.")
+  in
+  let ballast_step_s =
+    Arg.(value & opt float 2.5 & info [ "ballast-step-s" ] ~doc:"Seconds between ballast increments.")
+  in
+  let storm_arg =
+    Arg.(value & flag & info [ "disk-storm" ] ~doc:"Also degrade the disk during the spike window.")
+  in
+  let burst_arg =
+    Arg.(value & opt int 0 & info [ "burst" ] ~doc:"Extra burst clients during the spike window (0 = none).")
+  in
+  let glitch_arg =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "glitch" ]
+          ~doc:"Transient allocation-failure probability during the spike window (0 = none).")
+  in
+  let think_arg =
+    Arg.(value & opt float 100. & info [ "think" ] ~doc:"Client mean think time, seconds.")
+  in
+  let workload_arg =
+    Arg.(
+      value
+      & opt (enum [ ("sales", `Sales); ("snowflake", `Snowflake); ("tpch", `Tpch) ]) `Sales
+      & info [ "workload" ] ~doc:"Workload: sales, snowflake or tpch.")
+  in
+  let action clients warmup measure slice seed ballast_gib ballast_at
+      ballast_hold ballast_steps ballast_step_s storm burst glitch think
+      workload =
+    let catalog, templates =
+      match workload with
+      | `Sales -> (Workload.Sales.catalog (), Workload.Sales.templates ())
+      | `Snowflake -> (Workload.Snowflake.catalog (), Workload.Snowflake.templates ())
+      | `Tpch -> (Workload.Tpch.catalog (), Workload.Tpch.templates ())
+    in
+    let at = ballast_at and hold = ballast_hold in
+    let ramp = float_of_int ballast_steps *. ballast_step_s in
+    let window = ramp +. hold in
+    let faults =
+      (if ballast_gib > 0. then
+         Faultsim.Fault.pressure_spike ~ramp_steps:ballast_steps
+           ~step_s:ballast_step_s ~at
+           ~bytes:(int_of_float (ballast_gib *. float_of_int (Dbmem.Units.gib 1)))
+           ~hold ()
+       else [])
+      @ (if storm then
+           [ Faultsim.Fault.Disk_storm
+               { at; duration = window; throughput_factor = 0.5; extra_seek_s = 0.004 } ]
+         else [])
+      @ (if burst > 0 then
+           [ Faultsim.Fault.Client_burst
+               { at; duration = window; clients = burst; think_mean = 10. } ]
+         else [])
+      @
+      if glitch > 0. then
+        [ Faultsim.Fault.Alloc_glitch
+            { at; duration = window; fail_prob = glitch; clerks = [ "compile" ] } ]
+      else []
+    in
+    let run resilient =
+      let base =
+        if resilient then Server.Config.resilient () else Server.Config.default ()
+      in
+      let cfg = { base with Server.Config.seed; faults } in
+      Server.Experiment.run ~config:cfg ~catalog ~templates
+        ~client_config:
+          { Workload.Client.default_config with Workload.Client.think_mean = think }
+        ~clients ~warmup ~measure ~slice ()
+    in
+    let on = run true in
+    let off = run false in
+    Printf.printf "Chaos schedule (%d clients, seed %d):\n" clients seed;
+    List.iter (fun f -> Printf.printf "  %s\n" (Faultsim.Fault.label f)) faults;
+    print_newline ();
+    Format.printf "%a@.@." Server.Experiment.pp_summary on;
+    Format.printf "%a@.@." Server.Experiment.pp_summary off;
+    Server.Report.table ~header:Server.Report.result_header
+      [ Server.Report.result_row on; Server.Report.result_row off ];
+    Server.Report.resilience_section [ on; off ];
+    print_newline ();
+    Printf.printf "  resilient   %s\n" (Server.Report.sparkline (Array.map snd on.Server.Experiment.slices));
+    Printf.printf "  unprotected %s\n" (Server.Report.sparkline (Array.map snd off.Server.Experiment.slices));
+    let up = 100. *. Server.Experiment.uplift on off in
+    Printf.printf
+      "\n  completions uplift with resilience: %+.0f%% (%d vs %d); hard errors %d vs %d\n"
+      up on.Server.Experiment.total_completed off.Server.Experiment.total_completed
+      on.Server.Experiment.hard_errors off.Server.Experiment.hard_errors
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Run a fault schedule with resilience on vs off (graceful-degradation demo).")
+    Term.(
+      const action $ clients_arg $ warmup_arg $ measure_arg $ slice_arg
+      $ seed_arg $ ballast_gib $ ballast_at $ ballast_hold $ ballast_steps
+      $ ballast_step_s $ storm_arg $ burst_arg $ glitch_arg $ think_arg
+      $ workload_arg)
+
 let info_cmd =
   let action () =
     let cfg = Server.Config.default () in
@@ -243,4 +367,4 @@ let info_cmd =
 let () =
   setup_logs (Some Logs.Warning);
   let doc = "Simulated DBMS reproducing CIDR'07 query-compilation throttling" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "dbsim" ~doc) [ run_cmd; compare_cmd; sweep_cmd; info_cmd; verbose_cmd; sql_cmd ]))
+  exit (Cmd.eval (Cmd.group (Cmd.info "dbsim" ~doc) [ run_cmd; compare_cmd; sweep_cmd; chaos_cmd; info_cmd; verbose_cmd; sql_cmd ]))

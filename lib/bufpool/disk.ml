@@ -6,6 +6,10 @@ type t = {
   mutable reads : int;
   mutable bytes_read : int;
   mutable bytes_written : int;
+  (* Fault injection: a degraded array pays extra latency per transfer and
+     delivers a fraction of its nominal bandwidth. *)
+  mutable extra_seek_s : float;
+  mutable throughput_factor : float;
 }
 
 let create eng ~spindles ~seek_s ~throughput_bytes_per_s =
@@ -22,9 +26,26 @@ let create eng ~spindles ~seek_s ~throughput_bytes_per_s =
     reads = 0;
     bytes_read = 0;
     bytes_written = 0;
+    extra_seek_s = 0.;
+    throughput_factor = 1.;
   }
 
-let service_time t ~bytes = t.seek_s +. (float_of_int bytes /. t.throughput)
+let set_degradation t ~throughput_factor ~extra_seek_s =
+  if throughput_factor <= 0. || throughput_factor > 1. then
+    invalid_arg "Disk.set_degradation: throughput_factor not in (0,1]";
+  if extra_seek_s < 0. then invalid_arg "Disk.set_degradation: extra_seek_s";
+  t.throughput_factor <- throughput_factor;
+  t.extra_seek_s <- extra_seek_s
+
+let clear_degradation t =
+  t.throughput_factor <- 1.;
+  t.extra_seek_s <- 0.
+
+let degraded t = t.throughput_factor < 1. || t.extra_seek_s > 0.
+
+let service_time t ~bytes =
+  t.seek_s +. t.extra_seek_s
+  +. (float_of_int bytes /. (t.throughput *. t.throughput_factor))
 
 let transfer t ~bytes =
   if bytes < 0 then invalid_arg "Disk: negative transfer";

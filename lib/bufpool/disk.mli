@@ -28,5 +28,18 @@ val bytes_written : t -> int
 (** Seconds spent queueing for a spindle, across all requests. *)
 val queue_wait : t -> Sim.Stats.Online.t
 
+(** {1 Fault injection}
+
+    A degraded array (rebuild in progress, failing spindle) delivers
+    [throughput_factor] of nominal bandwidth and pays [extra_seek_s] extra
+    latency per transfer. Used by the chaos harness; a freshly created
+    disk is never degraded. *)
+
+val set_degradation :
+  t -> throughput_factor:float -> extra_seek_s:float -> unit
+
+val clear_degradation : t -> unit
+val degraded : t -> bool
+
 (** Estimated service time of one read, without queueing. *)
 val service_time : t -> bytes:int -> float

@@ -4,6 +4,13 @@ let pp_error ppf = function
   | Gateway_timeout m -> Format.fprintf ppf "gateway timeout at %s monitor" m
   | Out_of_memory -> Format.fprintf ppf "out of memory"
 
+type pressure = Calm | Elevated | Critical
+
+let pressure_name = function
+  | Calm -> "calm"
+  | Elevated -> "elevated"
+  | Critical -> "critical"
+
 type t = {
   gclerk : Dbmem.Manager.clerk;
   config : Throttle_config.t;
@@ -11,7 +18,7 @@ type t = {
   gmonitors : Monitor.t array;
   counts : int array; (* counts.(i): sessions holding exactly i monitors *)
   mutable target : int; (* latest broker target for compile memory, 0 = unknown *)
-  mutable stop_early : bool;
+  mutable press : pressure;
   mutable active : int;
   genabled : bool;
 }
@@ -42,7 +49,7 @@ let create eng _manager ~clerk ~cpus ~config ~enabled () =
     gmonitors;
     counts = Array.make (Array.length levels + 1) 0;
     target = 0;
-    stop_early = false;
+    press = Calm;
     active = 0;
     genabled = enabled;
   }
@@ -142,23 +149,28 @@ let level s = s.held
 
 let on_notification t (n : Broker.notification) =
   t.target <- n.Broker.target;
-  (* Best-plan-so-far is for *predicted exhaustion*, not routine pressure:
-     require the forecast to overshoot the target substantially, else every
-     compilation on a busy system would degrade to its greedy plan. *)
-  t.stop_early <- (match n.Broker.verdict with
-    | Broker.Must_shrink -> n.Broker.predicted > 2 * max 1 n.Broker.target
-    | Broker.Hold_rate | Broker.Can_grow -> false)
+  (* Three-rung pressure ladder. [Critical] — best-plan-so-far / greedy
+     fallback territory — is reserved for *predicted exhaustion*, not
+     routine pressure: the forecast must overshoot the target
+     substantially, else every compilation on a busy system would degrade
+     to its greedy plan. [Elevated] is any shrink demand. *)
+  t.press <- (match n.Broker.verdict with
+    | Broker.Must_shrink ->
+        if n.Broker.predicted > 2 * max 1 n.Broker.target then Critical
+        else Elevated
+    | Broker.Hold_rate | Broker.Can_grow -> Calm)
 
 let broker_target t = t.target
-let should_stop_early t = t.genabled && t.stop_early
+let pressure t = if t.genabled then t.press else Calm
+let should_stop_early t = t.genabled && t.press = Critical
 let population t i = t.counts.(i)
 let active_sessions t = t.active
 let monitors t = t.gmonitors
 let clerk t = t.gclerk
 
 let pp ppf t =
-  Format.fprintf ppf "@[<v>compile governor (enabled=%b, target=%a, stop_early=%b)@,"
-    t.genabled Dbmem.Units.pp_bytes t.target t.stop_early;
+  Format.fprintf ppf "@[<v>compile governor (enabled=%b, target=%a, pressure=%s)@,"
+    t.genabled Dbmem.Units.pp_bytes t.target (pressure_name t.press);
   Array.iteri
     (fun i m ->
       Format.fprintf ppf "  %-8s thr=%-12s slots=%d in_use=%d queued=%d timeouts=%d@,"

@@ -77,7 +77,18 @@ val on_notification : t -> Broker.notification -> unit
 (** Latest compile-memory target learned from the broker (0 if none). *)
 val broker_target : t -> int
 
-(** [true] when compilations should wrap up with their best plan so far. *)
+(** Compile-memory pressure ladder, derived from the latest broker
+    notification. [Calm]: no shrink demanded. [Elevated]: the broker wants
+    compile memory released. [Critical]: predicted usage far overshoots
+    the target — exhaustion territory. Always [Calm] when the governor is
+    disabled. The server's graceful-degradation ladder keys off this. *)
+type pressure = Calm | Elevated | Critical
+
+val pressure : t -> pressure
+val pressure_name : pressure -> string
+
+(** [true] when compilations should wrap up with their best plan so far
+    (equivalent to [pressure t = Critical]). *)
 val should_stop_early : t -> bool
 
 (** {1 Introspection} *)

@@ -1,9 +1,15 @@
-type t = { mname : string; sem : Sim.Resource.Sem.t; mtimeout : float }
+type t = {
+  mname : string;
+  sem : Sim.Resource.Sem.t;
+  mtimeout : float;
+  mutable nreleases : int;
+}
 
 let create eng ~name ~slots ~timeout =
   if slots < 1 then invalid_arg "Monitor.create: slots must be >= 1";
   if timeout <= 0. then invalid_arg "Monitor.create: timeout must be > 0";
-  { mname = name; sem = Sim.Resource.Sem.create eng ~name ~capacity:slots (); mtimeout = timeout }
+  { mname = name; sem = Sim.Resource.Sem.create eng ~name ~capacity:slots ();
+    mtimeout = timeout; nreleases = 0 }
 
 let acquire t ?(priority = 0) () =
   match
@@ -12,7 +18,9 @@ let acquire t ?(priority = 0) () =
   | Sim.Resource.Acquired -> Ok ()
   | Sim.Resource.Timed_out -> Error `Timeout
 
-let release t = Sim.Resource.Sem.release t.sem ~n:1
+let release t =
+  t.nreleases <- t.nreleases + 1;
+  Sim.Resource.Sem.release t.sem ~n:1
 let set_slots t n = Sim.Resource.Sem.set_capacity t.sem n
 let name t = t.mname
 let slots t = Sim.Resource.Sem.capacity t.sem
@@ -20,5 +28,6 @@ let in_use t = Sim.Resource.Sem.in_use t.sem
 let queued t = Sim.Resource.Sem.queued t.sem
 let timeout t = t.mtimeout
 let acquires t = Sim.Resource.Sem.grants t.sem
+let releases t = t.nreleases
 let timeouts t = Sim.Resource.Sem.timeouts t.sem
 let wait_stats t = Sim.Resource.Sem.wait_stats t.sem

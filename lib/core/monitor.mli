@@ -31,6 +31,11 @@ val timeout : t -> float
 (** {1 Statistics} *)
 
 val acquires : t -> int
+
+(** Slots given back so far; a quiesced system has
+    [acquires t = releases t] (no slot leaks). *)
+val releases : t -> int
+
 val timeouts : t -> int
 
 (** Distribution of time spent blocked in {!acquire} (successful acquires

@@ -14,6 +14,8 @@ and t = {
   mutable donors : donor list; (* kept sorted by priority *)
   mutable oom_count : int;
   mutable alloc_count : int;
+  mutable alloc_fault : (string -> int -> bool) option;
+  mutable faulted_allocs : int;
 }
 
 exception Out_of_memory of { clerk : string; requested : int; free : int }
@@ -27,6 +29,8 @@ let create ~total () =
     donors = [];
     oom_count = 0;
     alloc_count = 0;
+    alloc_fault = None;
+    faulted_allocs = 0;
   }
 
 let total t = t.total
@@ -70,6 +74,14 @@ let alloc c n =
   if n < 0 then invalid_arg "Manager.alloc: negative";
   let t = c.owner in
   t.alloc_count <- t.alloc_count + 1;
+  (* Injected transient failure: the commit path refuses spuriously, before
+     any donor shrink or accounting change (the allocation simply never
+     happened, as with a flaky mmap/commit). *)
+  match t.alloc_fault with
+  | Some f when f c.cname n ->
+      t.faulted_allocs <- t.faulted_allocs + 1;
+      Error `Out_of_memory
+  | _ ->
   if available t < n then ignore (reclaim t ~target_free:n);
   if available t < n then begin
     t.oom_count <- t.oom_count + 1;
@@ -101,6 +113,8 @@ let find_clerk t name = List.find_opt (fun c -> c.cname = name) (clerks t)
 let snapshot t = List.map (fun c -> (c.cname, c.used)) (clerks t)
 let oom_count t = t.oom_count
 let alloc_count t = t.alloc_count
+let set_alloc_fault t f = t.alloc_fault <- f
+let faulted_allocs t = t.faulted_allocs
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>memory %a/%a free %a@," Units.pp_bytes t.used_total

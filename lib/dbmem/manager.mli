@@ -66,6 +66,16 @@ val register_donor :
     allocating yet. *)
 val demand : t -> int -> int
 
+(** {1 Fault injection} *)
+
+(** [set_alloc_fault t (Some f)] makes {!alloc} fail (before any donor
+    shrink or accounting change) whenever [f clerk_name bytes] is [true] —
+    a transient commit-path failure. [None] clears the fault. *)
+val set_alloc_fault : t -> (string -> int -> bool) option -> unit
+
+(** Allocations refused by the injected fault so far. *)
+val faulted_allocs : t -> int
+
 (** {1 Introspection} *)
 
 (** [(clerk_name, used_bytes)] for every clerk, in creation order. *)

@@ -45,6 +45,7 @@ let release t n =
     Sim.Resource.Sem.release t.sem ~n
   end
 
+let min_grant t = t.min_grant
 let set_total t n = Sim.Resource.Sem.set_capacity t.sem n
 let total t = Sim.Resource.Sem.capacity t.sem
 let in_use t = Sim.Resource.Sem.in_use t.sem

@@ -35,6 +35,9 @@ val release : t -> int -> unit
     unaffected; the change applies to queued and future requests. *)
 val set_total : t -> int -> unit
 
+(** The floor below which grants are never trimmed. *)
+val min_grant : t -> int
+
 val total : t -> int
 val in_use : t -> int
 val queued : t -> int

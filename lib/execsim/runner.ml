@@ -74,10 +74,13 @@ let spill_io res ~bytes =
   go (bytes / 2) true;
   go (bytes / 2) false
 
-let run res config plan =
+let run ?grant_cap res config plan =
   let start = Sim.Engine.now res.eng in
   let ideal = Optimizer.Plan.grant_bytes plan in
-  match Grant.acquire res.grants ~ideal with
+  (* A capped run asks the semaphore for less than the plan's ideal; the
+     shortfall below [ideal] spills, exactly as a trimmed grant would. *)
+  let ask = match grant_cap with Some c -> min ideal (max 1 c) | None -> ideal in
+  match Grant.acquire res.grants ~ideal:ask with
   | Error `Timeout -> Error `Grant_timeout
   | Error `Out_of_memory -> Error `Out_of_memory
   | Ok granted ->

@@ -41,6 +41,14 @@ type outcome = {
 
 type error = [ `Grant_timeout | `Out_of_memory ]
 
-(** [run res config plan] — must be called from a simulation process. The
-    grant is always released, also on error. *)
-val run : resources -> config -> Optimizer.Plan.t -> (outcome, error) result
+(** [run ?grant_cap res config plan] — must be called from a simulation
+    process. The grant is always released, also on error. [grant_cap]
+    bounds the bytes requested from the semaphore (degraded, spill-heavy
+    execution under memory pressure); spill volume is still measured
+    against the plan's ideal. *)
+val run :
+  ?grant_cap:int ->
+  resources ->
+  config ->
+  Optimizer.Plan.t ->
+  (outcome, error) result

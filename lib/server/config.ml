@@ -19,6 +19,8 @@ type t = {
   min_workspace_bytes : int;
   metrics_interval : float;
   seed : int;
+  resilience : Resilience.t;
+  faults : Faultsim.Fault.spec list;
 }
 
 let default () =
@@ -44,7 +46,11 @@ let default () =
     min_workspace_bytes = Dbmem.Units.mib 256;
     metrics_interval = 5.0;
     seed = 42;
+    resilience = Resilience.disabled;
+    faults = [];
   }
+
+let resilient () = { (default ()) with resilience = Resilience.default }
 
 let unthrottled () =
   let base = default () in
@@ -60,11 +66,17 @@ let unthrottled () =
 
 let pp ppf t =
   Format.fprintf ppf
-    "@[<v>server: %d cpus, %a memory, %d spindles @ %.0f MB/s, pool granule %a@,throttle %s (%s)@,%a@]"
+    "@[<v>server: %d cpus, %a memory, %d spindles @ %.0f MB/s, pool granule %a@,throttle %s (%s)@,%a@,%a@]"
     t.cpus Dbmem.Units.pp_bytes t.memory_bytes t.disk_spindles
     (t.disk_throughput /. (1024. *. 1024.))
     Dbmem.Units.pp_bytes t.page_bytes
     (if t.throttle_enabled then "ON" else "OFF")
     (if t.throttle.Qcore.Throttle_config.dynamic then "dynamic thresholds"
      else "static thresholds")
-    Qcore.Throttle_config.pp t.throttle
+    Qcore.Throttle_config.pp t.throttle Resilience.pp t.resilience;
+  match t.faults with
+  | [] -> ()
+  | faults ->
+      Format.fprintf ppf "@,fault schedule:";
+      List.iter (fun f -> Format.fprintf ppf "@,  %a" Faultsim.Fault.pp f)
+        faults

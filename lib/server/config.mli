@@ -22,9 +22,16 @@ type t = {
   min_workspace_bytes : int;  (** broker floor / clamp for grants *)
   metrics_interval : float;  (** memory sampling period *)
   seed : int;
+  resilience : Resilience.t;  (** retry/degrade/shed/deadline policy *)
+  faults : Faultsim.Fault.spec list;
+      (** chaos schedule injected by {!Experiment.run} / [dbsim chaos];
+          empty for benign runs *)
 }
 
 val default : unit -> t
+
+(** [default] with the full resilience policy switched on. *)
+val resilient : unit -> t
 
 (** [default] with throttling disabled (the paper's baseline lines). *)
 val unthrottled : unit -> t

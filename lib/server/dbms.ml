@@ -13,6 +13,11 @@ type t = {
   metrics : Metrics.t;
   exec_resources : Execsim.Runner.resources;
   clerk_list : (string * Dbmem.Manager.clerk) list;
+  ballast : Dbmem.Manager.clerk option;
+      (* phantom external consumer, present only when faults are scheduled *)
+  retry_rng : Sim.Rng.t option;
+      (* jitter stream, split only when resilience is on so the disabled
+         configuration replays the seed byte for byte *)
 }
 
 let create eng cfg cat =
@@ -98,6 +103,31 @@ let create eng cfg cat =
       rng = Sim.Rng.split (Sim.Engine.rng eng);
     }
   in
+  (* The ballast clerk models an external memory consumer (faultsim's
+     phantom process). It is registered with the broker so the spike shows
+     up in predictions and squeezes everyone else's target — but it
+     ignores its verdicts, exactly like a process outside the DBMS. Only
+     created when a fault schedule exists, so benign configurations keep
+     the seed's broker arithmetic untouched. *)
+  let ballast =
+    match cfg.Config.faults with
+    | [] -> None
+    | _ :: _ ->
+        let clerk = Dbmem.Manager.create_clerk manager "ballast" in
+        ignore
+          (Qcore.Broker.register broker ~name:"ballast" ~clerk ~weight:1.0 ());
+        Some clerk
+  in
+  (* Split whenever resilience OR faults are configured — not just
+     resilience — so a chaos A/B pair (same faults, resilience on vs off)
+     consumes the engine's rng stream identically and sees the very same
+     client workload. The plain seed config (no faults, no resilience)
+     splits nothing, preserving seed behaviour exactly. *)
+  let retry_rng =
+    if cfg.Config.resilience.Resilience.enabled || cfg.Config.faults <> []
+    then Some (Sim.Rng.split (Sim.Engine.rng eng))
+    else None
+  in
   {
     eng;
     cfg;
@@ -113,12 +143,15 @@ let create eng cfg cat =
     metrics;
     exec_resources;
     clerk_list =
-      [
-        ("bufpool", pool_clerk);
-        ("plancache", cache_clerk);
-        ("compile", compile_clerk);
-        ("execution", exec_clerk);
-      ];
+      ([
+         ("bufpool", pool_clerk);
+         ("plancache", cache_clerk);
+         ("compile", compile_clerk);
+         ("execution", exec_clerk);
+       ]
+      @ match ballast with Some c -> [ ("ballast", c) ] | None -> []);
+    ballast;
+    retry_rng;
   }
 
 let start t =
@@ -128,13 +161,22 @@ let start t =
 (* Governed compilation: the Cascades environment reports allocations to
    the governor (which may block at gateways or fail), burns CPU on the
    shared pool, and asks the governor whether the broker predicts compile-
-   memory exhaustion. *)
-let compile t q =
+   memory exhaustion. [deadline], when set, is the per-query watchdog: a
+   compilation past it is cancelled at its next allocation rather than
+   holding gateways for work that can no longer matter. *)
+let compile t ?deadline q =
   let session = Qcore.Compile_gov.begin_compile t.gov in
+  let check_deadline () =
+    match deadline with
+    | Some d when Sim.Engine.now t.eng > d ->
+        raise (Optimizer.Env.Aborted Optimizer.Env.Cancelled)
+    | _ -> ()
+  in
   let env =
     {
       Optimizer.Env.alloc =
         (fun n ->
+          check_deadline ();
           match Qcore.Compile_gov.alloc session n with
           | Ok () -> ()
           | Error (Qcore.Compile_gov.Gateway_timeout m) ->
@@ -161,51 +203,247 @@ let compile t q =
       Ok (r, elapsed)
   | Error reason -> Error reason
 
-let submit t q =
-  let compile_result =
-    match Plancache.Cache.lookup t.cache q.Optimizer.Query.qid with
-    | Some plan ->
-        Metrics.record_cache_hit t.metrics;
-        Ok (plan, 0.)
-    | None -> (
-        match compile t q with
-        | Ok (r, elapsed) ->
-            let compile_cost =
-              float_of_int r.Optimizer.Cascades.stats.Optimizer.Cascades.tasks
-              *. t.cfg.Config.optimizer_params.Optimizer.Cascades.task_cpu
-            in
-            Plancache.Cache.insert t.cache ~key:q.Optimizer.Query.qid
-              ~plan:r.Optimizer.Cascades.plan ~compile_cost;
-            Ok (r.Optimizer.Cascades.plan, elapsed)
-        | Error Optimizer.Env.Out_of_memory ->
-            Metrics.record_error t.metrics Metrics.Compile_oom;
-            Error Metrics.Compile_oom
-        | Error (Optimizer.Env.Gateway_timeout _) ->
-            Metrics.record_error t.metrics Metrics.Gateway_timeout;
-            Error Metrics.Gateway_timeout
-        | Error Optimizer.Env.Cancelled ->
-            Metrics.record_error t.metrics Metrics.Compile_oom;
-            Error Metrics.Compile_oom)
+(* Bottom rung of the degradation ladder: skip the memo search entirely and
+   emit the greedy left-deep plan. Still governed — the (tiny) footprint is
+   metered so accounting stays honest — but it passes under the first
+   gateway threshold and cannot meaningfully contribute to compile-memory
+   pressure. *)
+let compile_degraded t q =
+  let session = Qcore.Compile_gov.begin_compile t.gov in
+  let started = Sim.Engine.now t.eng in
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.record_compile_peak t.metrics (Qcore.Compile_gov.peak session);
+      Qcore.Compile_gov.end_compile session)
+    (fun () ->
+      let params = t.cfg.Config.optimizer_params in
+      let n = Optimizer.Query.n_rels q in
+      match
+        Qcore.Compile_gov.alloc session
+          (params.Optimizer.Cascades.phys_bytes * n)
+      with
+      | Error (Qcore.Compile_gov.Gateway_timeout _) ->
+          Error Metrics.Gateway_timeout
+      | Error Qcore.Compile_gov.Out_of_memory -> Error Metrics.Compile_oom
+      | Ok () ->
+          (* Greedy is ~n^2 candidate evaluations. *)
+          Execsim.Cpu.busy t.cpu
+            (params.Optimizer.Cascades.task_cpu *. float_of_int (n * n));
+          let card = Optimizer.Card.create t.cat q in
+          let plan = Optimizer.Greedy.plan t.cfg.Config.cost_model card in
+          Ok (plan, Sim.Engine.now t.eng -. started))
+
+(* Admission control: with [in_flight] compilations already holding or
+   chasing compile memory and each expected to peak near the observed
+   mean, admitting another would push predicted demand past
+   [shed_factor * broker target]. Only engages under broker pressure, so a
+   benign system never sheds. *)
+let should_shed t =
+  let r = t.cfg.Config.resilience in
+  r.Resilience.enabled && r.Resilience.shed_enabled
+  && Qcore.Compile_gov.pressure t.gov <> Qcore.Compile_gov.Calm
+  &&
+  let target = Qcore.Compile_gov.broker_target t.gov in
+  target > 0
+  &&
+  let peaks = Metrics.compile_peak t.metrics in
+  let predicted_per_query =
+    if Sim.Stats.Online.count peaks > 0 then Sim.Stats.Online.mean peaks
+    else float_of_int (Dbmem.Units.mib 32)
   in
-  match compile_result with
-  | Error e -> Error e
-  | Ok (plan, compile_s) -> (
-      match Execsim.Runner.run t.exec_resources t.cfg.Config.exec_config plan with
-      | Ok outcome ->
-          Metrics.record_completion t.metrics ~compile_s
-            ~exec_s:outcome.Execsim.Runner.duration;
-          Ok ()
-      | Error `Grant_timeout ->
-          Metrics.record_error t.metrics Metrics.Grant_timeout;
-          Error Metrics.Grant_timeout
-      | Error `Out_of_memory ->
-          Metrics.record_error t.metrics Metrics.Exec_oom;
-          Error Metrics.Exec_oom)
+  let in_flight = Qcore.Compile_gov.active_sessions t.gov + 1 in
+  float_of_int in_flight *. predicted_per_query
+  > r.Resilience.shed_factor *. float_of_int target
+
+let abort_to_error = function
+  | Optimizer.Env.Out_of_memory -> Metrics.Compile_oom
+  | Optimizer.Env.Gateway_timeout _ -> Metrics.Gateway_timeout
+  | Optimizer.Env.Cancelled -> Metrics.Deadline
+
+(* One compile attempt, choosing the ladder rung. Cached plans bypass
+   everything: they cost no compile memory. Degraded plans are *not*
+   cached — a repeat of the same query in calmer weather deserves the real
+   optimizer. *)
+let plan_for t ~degraded ~deadline q =
+  match Plancache.Cache.lookup t.cache q.Optimizer.Query.qid with
+  | Some plan ->
+      Metrics.record_cache_hit t.metrics;
+      Ok (plan, 0., false)
+  | None when degraded -> (
+      match compile_degraded t q with
+      | Ok (plan, elapsed) -> Ok (plan, elapsed, true)
+      | Error e -> Error e)
+  | None -> (
+      match compile t ?deadline q with
+      | Ok (r, elapsed) ->
+          let compile_cost =
+            float_of_int r.Optimizer.Cascades.stats.Optimizer.Cascades.tasks
+            *. t.cfg.Config.optimizer_params.Optimizer.Cascades.task_cpu
+          in
+          Plancache.Cache.insert t.cache ~key:q.Optimizer.Query.qid
+            ~plan:r.Optimizer.Cascades.plan ~compile_cost;
+          Ok (r.Optimizer.Cascades.plan, elapsed, false)
+      | Error reason -> Error (abort_to_error reason))
+
+let submit t q =
+  let r = t.cfg.Config.resilience in
+  let deadline =
+    if r.Resilience.enabled && r.Resilience.deadline_s > 0. then
+      Some (Sim.Engine.now t.eng +. r.Resilience.deadline_s)
+    else None
+  in
+  let past_deadline () =
+    match deadline with
+    | Some d -> Sim.Engine.now t.eng > d
+    | None -> false
+  in
+  let fail kind =
+    Metrics.record_error t.metrics kind;
+    Error kind
+  in
+  (* Retry ladder: [attempt] is 1-based; [degraded] sticks once entered.
+     Transient kinds (gateway/grant timeouts, execution OOM — all symptoms
+     of a passing memory or load transient) back off and retry; compile
+     OOM falls one rung down the ladder and retries immediately with the
+     greedy plan; everything else is final. *)
+  let rec attempt n ~degraded =
+    (* Under any broker pressure the full search would queue at shrunken
+       gateways (and likely OOM); go straight to the cheap rung instead of
+       burning a long gateway wait first. *)
+    let degraded =
+      degraded
+      || r.Resilience.enabled && r.Resilience.degrade_enabled
+         && Qcore.Compile_gov.pressure t.gov <> Qcore.Compile_gov.Calm
+    in
+    match plan_for t ~degraded ~deadline q with
+    | Error Metrics.Compile_oom
+      when r.Resilience.enabled && r.Resilience.degrade_enabled
+           && not degraded ->
+        (* The full search could not get memory; the greedy plan needs
+           almost none. Fall down the ladder without burning a retry. *)
+        attempt n ~degraded:true
+    | Error (Metrics.Gateway_timeout as kind) -> retry n ~degraded kind
+    | Error kind -> fail kind
+    | Ok (plan, compile_s, was_degraded) ->
+        if past_deadline () then fail Metrics.Deadline
+        else (
+          let finish ~reduced outcome =
+            Metrics.record_completion t.metrics ~compile_s
+              ~exec_s:outcome.Execsim.Runner.duration;
+            if was_degraded || reduced then Metrics.record_degraded t.metrics;
+            Ok ()
+          in
+          match
+            Execsim.Runner.run t.exec_resources t.cfg.Config.exec_config plan
+          with
+          | Ok outcome -> finish ~reduced:false outcome
+          | Error `Grant_timeout -> retry n ~degraded Metrics.Grant_timeout
+          | Error `Out_of_memory
+            when r.Resilience.enabled && r.Resilience.degrade_enabled -> (
+              (* The exec rung of the ladder: the plan's ideal workspace is
+                 not physically available, so immediately rerun asking for
+                 the grant floor and spill the shortfall to disk — slower,
+                 but it completes while the full-size run cannot. *)
+              match
+                Execsim.Runner.run
+                  ~grant_cap:(Execsim.Grant.min_grant t.grants)
+                  t.exec_resources t.cfg.Config.exec_config plan
+              with
+              | Ok outcome -> finish ~reduced:true outcome
+              | Error `Grant_timeout -> retry n ~degraded Metrics.Grant_timeout
+              | Error `Out_of_memory -> retry n ~degraded Metrics.Exec_oom)
+          | Error `Out_of_memory -> retry n ~degraded Metrics.Exec_oom)
+  and retry n ~degraded kind =
+    match t.retry_rng with
+    | Some rng when r.Resilience.enabled && n <= r.Resilience.max_retries ->
+        let pause = Resilience.backoff r ~attempt:n ~rng in
+        if
+          match deadline with
+          | Some d -> Sim.Engine.now t.eng +. pause > d
+          | None -> false
+        then fail kind
+        else begin
+          Metrics.record_retry t.metrics;
+          (* Under broker pressure the failure is storm-induced: park, and
+             cut the backoff short (after a minimum base pause) as soon as
+             the broker calms, so queries stranded behind a pressure spike
+             retry at the release instead of a full exponential later. In
+             calm weather keep the plain exponential pause. *)
+          let parked =
+            Qcore.Compile_gov.pressure t.gov <> Qcore.Compile_gov.Calm
+          in
+          if not parked then Sim.Engine.sleep pause
+          else begin
+            let slice = 5.0 in
+            let minimum = Float.min pause r.Resilience.backoff_base_s in
+            let rec nap slept =
+              if slept < pause then begin
+                let step = Float.min slice (pause -. slept) in
+                Sim.Engine.sleep step;
+                let slept = slept +. step in
+                if
+                  slept < minimum
+                  || Qcore.Compile_gov.pressure t.gov
+                     <> Qcore.Compile_gov.Calm
+                then nap slept
+              end
+            in
+            nap 0.
+          end;
+          attempt (n + 1) ~degraded
+        end
+    | _ -> fail kind
+  in
+  if should_shed t then fail Metrics.Admission_shed
+  else attempt 1 ~degraded:false
 
 let submit_catch t q =
   match submit t q with
   | Ok () -> Ok ()
   | Error e -> Error (Metrics.error_kind_name e)
+
+(* Wire the configured fault schedule into this server's attack surface.
+   [spawn_burst] is supplied by whoever owns the workload (Experiment, the
+   chaos driver); without it, Client_burst specs are inert. *)
+let install_faults ?spawn_burst t =
+  match t.cfg.Config.faults with
+  | [] -> None
+  | specs ->
+      let ballast_clerk =
+        match t.ballast with
+        | Some c -> c
+        | None -> assert false (* created whenever faults <> [] *)
+      in
+      let hooks =
+        {
+          Faultsim.Injector.ballast_grab =
+            (fun n ->
+              match Dbmem.Manager.alloc ballast_clerk n with
+              | Ok () -> true
+              | Error `Out_of_memory -> false);
+          ballast_release =
+            (fun n ->
+              Dbmem.Manager.free ballast_clerk
+                (min n (Dbmem.Manager.clerk_used ballast_clerk)));
+          disk_set =
+            (fun ~throughput_factor ~extra_seek_s ->
+              Bufpool.Disk.set_degradation t.disk ~throughput_factor
+                ~extra_seek_s);
+          disk_clear = (fun () -> Bufpool.Disk.clear_degradation t.disk);
+          alloc_fault_set =
+            (fun f -> Dbmem.Manager.set_alloc_fault t.manager (Some f));
+          alloc_fault_clear =
+            (fun () -> Dbmem.Manager.set_alloc_fault t.manager None);
+          burst_clients =
+            (match spawn_burst with
+            | Some f -> f
+            | None -> fun ~clients:_ ~think_mean:_ ~until:_ -> ());
+        }
+      in
+      Some
+        (Faultsim.Injector.install t.eng
+           ~rng:(Sim.Rng.split (Sim.Engine.rng t.eng))
+           ~hooks specs)
 
 let engine t = t.eng
 let config t = t.cfg
@@ -220,3 +458,4 @@ let grants t = t.grants
 let cpu t = t.cpu
 let catalog t = t.cat
 let clerks t = t.clerk_list
+let ballast_clerk t = t.ballast

@@ -14,11 +14,26 @@ val create : Sim.Engine.t -> Config.t -> Optimizer.Catalog.t -> t
 (** Start the broker ticks and memory sampling. *)
 val start : t -> unit
 
-(** Process-blocking end-to-end query execution. *)
+(** Process-blocking end-to-end query execution: plan-cache probe,
+    admission control, governed compilation (with the degradation ladder),
+    grant acquisition, simulated execution — plus the configured retry
+    policy around the transient failure modes. With
+    [config.resilience = Resilience.disabled] (the default) the behaviour
+    is the seed pipeline exactly. *)
 val submit : t -> Optimizer.Query.t -> (unit, Metrics.error_kind) result
 
 (** {!submit} with the error rendered as a string (client callback form). *)
 val submit_catch : t -> Optimizer.Query.t -> (unit, string) result
+
+(** Schedule the configured [config.faults] against this server; [None]
+    when the schedule is empty. [spawn_burst], when given, realises
+    {!Faultsim.Fault.Client_burst} specs (the caller owns the workload);
+    without it burst specs are inert. Call once, before running the
+    engine. *)
+val install_faults :
+  ?spawn_burst:(clients:int -> think_mean:float -> until:float -> unit) ->
+  t ->
+  Faultsim.Injector.t option
 
 (** {1 Component access (metrics, tests, benches)} *)
 
@@ -36,5 +51,9 @@ val cpu : t -> Execsim.Cpu.t
 val catalog : t -> Optimizer.Catalog.t
 
 (** Memory clerks by component name
-    (["bufpool"; "plancache"; "compile"; "execution"]). *)
+    (["bufpool"; "plancache"; "compile"; "execution"], plus ["ballast"]
+    when a fault schedule is configured). *)
 val clerks : t -> (string * Dbmem.Manager.clerk) list
+
+(** The phantom external consumer's clerk ([None] without faults). *)
+val ballast_clerk : t -> Dbmem.Manager.clerk option

@@ -1,6 +1,7 @@
 type result = {
   clients : int;
   throttled : bool;
+  resilient : bool;
   warmup : float;
   measure : float;
   slice : float;
@@ -8,7 +9,15 @@ type result = {
   mean_per_slice : float;
   total_completed : int;
   total_errors : int;
+  hard_errors : int;
+  retries : int;
+  sheds : int;
+  degraded : int;
   errors : (string * int) list;
+  faults_started : int;
+  faults_finished : int;
+  ballast_peak : int;
+  ballast_refused : int;
   client_stats : Workload.Client.stats;
   compile_mean_s : float;
   compile_max_s : float;
@@ -41,6 +50,20 @@ let run ?config ?client_config ?catalog ?templates ?seed ~clients ~warmup
   let stats = Workload.Client.make_stats () in
   let ids = ref 0 in
   let stop = warmup +. measure in
+  (* Burst clients share the workload's stats/ids so conservation
+     invariants (attempts >= submitted, ...) keep holding under chaos. *)
+  let spawn_burst ~clients ~think_mean ~until =
+    let burst_rng = Sim.Rng.split (Sim.Engine.rng eng) in
+    for i = 1 to clients do
+      Workload.Client.spawn eng burst_rng
+        ~name:(Printf.sprintf "burst-%d" i)
+        ~templates
+        ~submit:(fun q -> Dbms.submit_catch dbms q)
+        ~config:{ client_config with Workload.Client.think_mean }
+        ~stats ~ids ~until:(Float.min until stop)
+    done
+  in
+  let injector = Dbms.install_faults ~spawn_burst dbms in
   let client_rng = Sim.Rng.split (Sim.Engine.rng eng) in
   for i = 1 to clients do
     Workload.Client.spawn eng client_rng
@@ -71,6 +94,7 @@ let run ?config ?client_config ?catalog ?templates ?seed ~clients ~warmup
   {
     clients;
     throttled = cfg.Config.throttle_enabled;
+    resilient = cfg.Config.resilience.Resilience.enabled;
     warmup;
     measure;
     slice;
@@ -78,8 +102,26 @@ let run ?config ?client_config ?catalog ?templates ?seed ~clients ~warmup
     mean_per_slice;
     total_completed;
     total_errors = Metrics.total_errors metrics;
+    hard_errors = Metrics.hard_errors metrics;
+    retries = Metrics.retries metrics;
+    sheds = Metrics.sheds metrics;
+    degraded = Metrics.degraded metrics;
     errors =
       List.map (fun (k, n) -> (Metrics.error_kind_name k, n)) (Metrics.errors metrics);
+    faults_started =
+      (match injector with Some i -> Faultsim.Injector.started i | None -> 0);
+    faults_finished =
+      (match injector with
+      | Some i -> Faultsim.Injector.finished i
+      | None -> 0);
+    ballast_peak =
+      (match injector with
+      | Some i -> Faultsim.Injector.ballast_peak i
+      | None -> 0);
+    ballast_refused =
+      (match injector with
+      | Some i -> Faultsim.Injector.ballast_refused i
+      | None -> 0);
     client_stats = stats;
     compile_mean_s = safe Sim.Stats.Online.mean ct;
     compile_max_s = safe Sim.Stats.Online.max ct;
@@ -99,15 +141,24 @@ let uplift a b =
 
 let pp_summary ppf r =
   Format.fprintf ppf
-    "@[<v>%d clients, throttling %s: %.1f completions/slice (%d total, %d errors)@,\
+    "@[<v>%d clients, throttling %s, resilience %s: %.1f completions/slice (%d total, %d errors)@,\
      compile %.1fs mean / %.1fs max; exec %.1fs mean / %.1fs max@,\
      compile peak %s mean / %s max; pool hit %.1f%%; cache hit %.1f%%; cpu %.2f@]"
     r.clients
     (if r.throttled then "ON" else "OFF")
+    (if r.resilient then "ON" else "OFF")
     r.mean_per_slice r.total_completed r.total_errors r.compile_mean_s
     r.compile_max_s r.exec_mean_s r.exec_max_s
     (Dbmem.Units.bytes_to_string (int_of_float r.compile_peak_mean))
     (Dbmem.Units.bytes_to_string (int_of_float r.compile_peak_max))
     (100. *. r.pool_hit_rate)
     (100. *. r.cache_hit_rate)
-    r.cpu_utilization
+    r.cpu_utilization;
+  if r.resilient || r.faults_started > 0 then
+    Format.fprintf ppf
+      "@,resilience: %d hard errors, %d retries, %d sheds, %d degraded \
+       completions; faults %d/%d run; ballast peak %s (%d refused grabs)"
+      r.hard_errors r.retries r.sheds r.degraded r.faults_finished
+      r.faults_started
+      (Dbmem.Units.bytes_to_string r.ballast_peak)
+      r.ballast_refused

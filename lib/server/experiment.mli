@@ -6,6 +6,7 @@
 type result = {
   clients : int;
   throttled : bool;
+  resilient : bool;
   warmup : float;
   measure : float;
   slice : float;
@@ -13,7 +14,15 @@ type result = {
   mean_per_slice : float;
   total_completed : int;  (** within the measured window *)
   total_errors : int;
+  hard_errors : int;  (** errors excluding admission sheds *)
+  retries : int;  (** server-side retries of transient errors *)
+  sheds : int;  (** queries refused by admission control *)
+  degraded : int;  (** completions via the greedy fallback ladder *)
   errors : (string * int) list;
+  faults_started : int;  (** fault episodes that began before [stop] *)
+  faults_finished : int;
+  ballast_peak : int;  (** most ballast held at once, bytes *)
+  ballast_refused : int;  (** ballast grab attempts the manager refused *)
   client_stats : Workload.Client.stats;
   compile_mean_s : float;
   compile_max_s : float;
@@ -29,7 +38,9 @@ type result = {
 
 (** [run ?config ?client_config ?catalog ?templates ?seed ~clients ~warmup
     ~measure ~slice ()] — defaults: the SALES benchmark on the paper's
-    server. Raises [Failure] if any simulation process died (model bug). *)
+    server. Any fault schedule in [config.faults] is installed before the
+    clients start (burst clients share the workload templates and stats).
+    Raises [Failure] if any simulation process died (model bug). *)
 val run :
   ?config:Config.t ->
   ?client_config:Workload.Client.config ->

@@ -1,12 +1,29 @@
-type error_kind = Gateway_timeout | Compile_oom | Grant_timeout | Exec_oom
+type error_kind =
+  | Gateway_timeout
+  | Compile_oom
+  | Grant_timeout
+  | Exec_oom
+  | Admission_shed
+  | Deadline
 
-let error_kinds = [ Gateway_timeout; Compile_oom; Grant_timeout; Exec_oom ]
+let error_kinds =
+  [ Gateway_timeout; Compile_oom; Grant_timeout; Exec_oom; Admission_shed;
+    Deadline ]
 
 let error_kind_name = function
   | Gateway_timeout -> "gateway-timeout"
   | Compile_oom -> "compile-oom"
   | Grant_timeout -> "grant-timeout"
   | Exec_oom -> "exec-oom"
+  | Admission_shed -> "admission-shed"
+  | Deadline -> "deadline"
+
+(* Sheds are deliberate, polite refusals under overload; everything else
+   is a hard resource failure (the reliability numbers of §5). *)
+let is_hard_error = function
+  | Gateway_timeout | Compile_oom | Grant_timeout | Exec_oom | Deadline ->
+      true
+  | Admission_shed -> false
 
 type t = {
   eng : Sim.Engine.t;
@@ -16,6 +33,8 @@ type t = {
   exec_time : Sim.Stats.Online.t;
   compile_peak : Sim.Stats.Online.t;
   mutable cache_hits : int;
+  mutable retries : int;
+  mutable degraded : int;
   mutable memory : (string * Sim.Series.t) list;
 }
 
@@ -28,6 +47,8 @@ let create eng =
     exec_time = Sim.Stats.Online.create ();
     compile_peak = Sim.Stats.Online.create ();
     cache_hits = 0;
+    retries = 0;
+    degraded = 0;
     memory = [];
   }
 
@@ -39,6 +60,8 @@ let record_completion t ~compile_s ~exec_s =
 let record_error t kind = incr (List.assoc kind t.error_counts)
 let record_compile_peak t bytes = Sim.Stats.Online.add t.compile_peak (float_of_int bytes)
 let record_cache_hit t = t.cache_hits <- t.cache_hits + 1
+let record_retry t = t.retries <- t.retries + 1
+let record_degraded t = t.degraded <- t.degraded + 1
 
 let watch_memory t ~interval clerks =
   let series =
@@ -66,7 +89,16 @@ let total_completions t ?(since = 0.) () =
 let errors t = List.map (fun (k, r) -> (k, !r)) t.error_counts
 let error_count t kind = !(List.assoc kind t.error_counts)
 let total_errors t = List.fold_left (fun acc (_, r) -> acc + !r) 0 t.error_counts
+
+let hard_errors t =
+  List.fold_left
+    (fun acc (k, r) -> if is_hard_error k then acc + !r else acc)
+    0 t.error_counts
+
+let sheds t = error_count t Admission_shed
 let cache_hits t = t.cache_hits
+let retries t = t.retries
+let degraded t = t.degraded
 let compile_time t = t.compile_time
 let exec_time t = t.exec_time
 let compile_peak t = t.compile_peak
@@ -77,6 +109,9 @@ let pp ppf t =
   List.iter
     (fun (k, n) -> if n > 0 then Format.fprintf ppf "%s: %d@," (error_kind_name k) n)
     (errors t);
+  if t.retries > 0 || t.degraded > 0 then
+    Format.fprintf ppf "retries: %d, degraded completions: %d@," t.retries
+      t.degraded;
   Format.fprintf ppf "compile time: %a@," Sim.Stats.Online.pp t.compile_time;
   Format.fprintf ppf "exec time: %a@," Sim.Stats.Online.pp t.exec_time;
   Format.fprintf ppf "compile peak mem: %a@]" Sim.Stats.Online.pp t.compile_peak

@@ -11,6 +11,12 @@ type error_kind =
   | Compile_oom
   | Grant_timeout
   | Exec_oom
+  | Admission_shed  (** load shedding refused the query at admission *)
+  | Deadline  (** per-query deadline watchdog fired *)
+
+(** Sheds are deliberate refusals under overload; all other kinds are hard
+    resource failures. *)
+val is_hard_error : error_kind -> bool
 
 type t
 
@@ -22,6 +28,13 @@ val record_completion : t -> compile_s:float -> exec_s:float -> unit
 val record_error : t -> error_kind -> unit
 val record_compile_peak : t -> int -> unit
 val record_cache_hit : t -> unit
+
+(** One server-side retry of a query after a transient resource error. *)
+val record_retry : t -> unit
+
+(** One completion that went through the degradation ladder (greedy
+    fallback plan instead of full search). *)
+val record_degraded : t -> unit
 
 (** Start sampling the given clerks every [interval] seconds. *)
 val watch_memory :
@@ -39,7 +52,14 @@ val total_completions : t -> ?since:float -> unit -> int
 val errors : t -> (error_kind * int) list
 val error_count : t -> error_kind -> int
 val total_errors : t -> int
+
+(** Errors excluding admission sheds (the reliability number of §5). *)
+val hard_errors : t -> int
+
+val sheds : t -> int
 val cache_hits : t -> int
+val retries : t -> int
+val degraded : t -> int
 val compile_time : t -> Sim.Stats.Online.t
 val exec_time : t -> Sim.Stats.Online.t
 val compile_peak : t -> Sim.Stats.Online.t

@@ -87,3 +87,34 @@ let result_row (r : Experiment.result) =
     Printf.sprintf "%.0f%%" (100. *. r.Experiment.pool_hit_rate);
     Printf.sprintf "%.2f" r.Experiment.cpu_utilization;
   ]
+
+let resilience_header =
+  [ "resilience"; "completed"; "hard errors"; "retries"; "sheds"; "degraded";
+    "client abandoned" ]
+
+let resilience_row (r : Experiment.result) =
+  [
+    (if r.Experiment.resilient then "on" else "off");
+    string_of_int r.Experiment.total_completed;
+    string_of_int r.Experiment.hard_errors;
+    string_of_int r.Experiment.retries;
+    string_of_int r.Experiment.sheds;
+    string_of_int r.Experiment.degraded;
+    string_of_int r.Experiment.client_stats.Workload.Client.abandoned;
+  ]
+
+(* The resilience section of a report: per-error-kind tallies plus the
+   retry/shed/degrade counters, one block per result. *)
+let resilience_section results =
+  print_newline ();
+  table ~header:resilience_header (List.map resilience_row results);
+  List.iter
+    (fun (r : Experiment.result) ->
+      let nonzero = List.filter (fun (_, n) -> n > 0) r.Experiment.errors in
+      if nonzero <> [] then begin
+        Printf.printf "  errors (resilience %s): %s\n"
+          (if r.Experiment.resilient then "on" else "off")
+          (String.concat ", "
+             (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) nonzero))
+      end)
+    results

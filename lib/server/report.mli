@@ -20,3 +20,13 @@ val figure_series :
 val result_row : Experiment.result -> string list
 
 val result_header : string list
+
+(** Resilience counters for a result: hard errors, retries, sheds,
+    degraded completions, client abandonment. *)
+val resilience_row : Experiment.result -> string list
+
+val resilience_header : string list
+
+(** Print the resilience table for a set of results, followed by the
+    per-error-kind tallies of any result that recorded errors. *)
+val resilience_section : Experiment.result list -> unit

@@ -1,0 +1,48 @@
+(** Per-query resilience policy: how {!Dbms.submit} behaves when the
+    machine is hostile.
+
+    Four mechanisms, all off in the seed configuration so the paper's
+    baseline numbers are untouched ({!disabled} is the default):
+
+    - {b retry}: transient resource errors (gateway timeout, grant
+      timeout) are retried inside the server with capped exponential
+      backoff and deterministic jitter drawn from the simulation RNG;
+    - {b degradation ladder}: under [Critical] broker pressure — or after
+      a compile out-of-memory — the optimizer falls back from full
+      Cascades search to the greedy left-deep plan, which needs almost no
+      compile memory, instead of erroring (the paper's §4.3
+      best-plan-so-far idea taken one rung further);
+    - {b admission control}: when in-flight compilations times the
+      observed compile-memory appetite overshoot the broker's compile
+      target, new compilations are shed immediately rather than queued
+      into a pile-up;
+    - {b deadline watchdog}: a query that cannot finish within
+      [deadline_s] is cancelled at its next allocation instead of holding
+      gateways forever. *)
+
+type t = {
+  enabled : bool;  (** master switch; [false] = seed behaviour exactly *)
+  max_retries : int;  (** retry budget per query, on top of attempt 1 *)
+  backoff_base_s : float;  (** first backoff; doubles per retry *)
+  backoff_max_s : float;  (** backoff cap *)
+  jitter_frac : float;  (** uniform jitter as a fraction of the backoff *)
+  degrade_enabled : bool;  (** greedy-plan fallback ladder *)
+  shed_enabled : bool;  (** admission-control load shedding *)
+  shed_factor : float;
+      (** shed when [in_flight * predicted_bytes > shed_factor * target] *)
+  deadline_s : float;  (** per-query wall-clock budget; [0.] = none *)
+}
+
+(** Everything off — the seed server, bit for bit. *)
+val disabled : t
+
+(** Sensible defaults with every mechanism on (chaos runs). *)
+val default : t
+
+(** [backoff t ~attempt ~rng] is the sleep before retry [attempt]
+    (1-based): [min backoff_max_s (backoff_base_s * 2^(attempt-1))] plus
+    uniform jitter in [0, jitter_frac * that). Deterministic given the RNG
+    state. *)
+val backoff : t -> attempt:int -> rng:Sim.Rng.t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -13,5 +13,6 @@ let () =
       ("workload", Test_workload.suite);
       ("server", Test_server.suite);
       ("fuzz", Test_fuzz.suite);
+      ("chaos", Test_chaos.suite);
       ("misc", Test_misc.suite);
     ]
