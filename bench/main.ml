@@ -53,95 +53,20 @@ let figure1 () =
 (* ------------------------------------------------------------------ *)
 (* Figure 2: compilation throttling trace *)
 
+(* Set by the --trace flag: figure2 additionally records a full trace,
+   renders the figure from the trace stream, and writes Chrome + JSONL
+   exports next to the working directory. *)
+let trace_requested = ref false
+
 let figure2 () =
   section "Figure 2 - compilation throttling example (memory vs time)";
-  let eng = Sim.Engine.create ~seed:7 () in
-  let manager = Dbmem.Manager.create ~total:(Dbmem.Units.gib 1) () in
-  let clerk = Dbmem.Manager.create_clerk manager "compile" in
-  (* A deliberately tight ladder on a small machine so the blocking is
-     visible, mirroring the paper's simplified example. *)
-  let ladder =
-    {
-      Qcore.Throttle_config.dynamic = false;
-      levels =
-        [
-          { Qcore.Throttle_config.lname = "first"; base_threshold = mib 4;
-            slots = Qcore.Throttle_config.Total 2; timeout = 10_000.;
-            fraction = 1.0; min_threshold = mib 4; max_threshold = mib 4 };
-          { Qcore.Throttle_config.lname = "second"; base_threshold = mib 32;
-            slots = Qcore.Throttle_config.Total 1; timeout = 10_000.;
-            fraction = 0.35; min_threshold = mib 32; max_threshold = mib 32 };
-          { Qcore.Throttle_config.lname = "third"; base_threshold = mib 128;
-            slots = Qcore.Throttle_config.Total 1; timeout = 10_000.;
-            fraction = 0.45; min_threshold = mib 128; max_threshold = mib 128 };
-        ];
-    }
+  let trace =
+    if !trace_requested then Obs.Trace.create () else Obs.Trace.null
   in
-  let gov =
-    Qcore.Compile_gov.create eng manager ~clerk ~cpus:1 ~config:ladder
-      ~enabled:true ()
-  in
-  let cpu = Execsim.Cpu.create eng ~cores:1 () in
-  let cat = Workload.Sales.catalog () in
-  let rng = Sim.Rng.create 11 in
-  let templates = Array.of_list (Workload.Sales.templates ()) in
-  let sessions = Array.make 3 None in
-  let series = Array.init 3 (fun i -> Sim.Series.create ~name:(Printf.sprintf "Q%d" (i + 1)) ()) in
-  let params =
-    { Optimizer.Cascades.default_params with
-      Optimizer.Cascades.max_tasks = 14_000; min_tasks = 14_000; honor_stop_early = false }
-  in
-  (* A background task (the "other queries, not shown" of the paper's
-     example) holds the first two monitors for the first 60 seconds, so Q1
-     itself experiences blocking. *)
-  Sim.Engine.spawn eng ~name:"background" (fun () ->
-      let s = Qcore.Compile_gov.begin_compile gov in
-      (match Qcore.Compile_gov.alloc s (mib 40) with Ok () -> () | Error _ -> ());
-      Sim.Engine.sleep 60.;
-      Qcore.Compile_gov.end_compile s);
-  let spawn_query i ~delay ~template =
-    Sim.Engine.spawn eng ~name:(Printf.sprintf "Q%d" (i + 1)) ~delay (fun () ->
-        let q = Workload.Template.instance rng templates.(template) ~id:i in
-        let session = Qcore.Compile_gov.begin_compile gov in
-        sessions.(i) <- Some session;
-        let env =
-          {
-            Optimizer.Env.alloc =
-              (fun n ->
-                match Qcore.Compile_gov.alloc session n with
-                | Ok () -> ()
-                | Error _ -> raise (Optimizer.Env.Aborted Optimizer.Env.Out_of_memory));
-            cpu = (fun s -> Execsim.Cpu.busy cpu s);
-            should_stop = (fun () -> false);
-          }
-        in
-        (match Optimizer.Cascades.optimize ~params ~env Optimizer.Cost.default cat q with
-        | Ok _ -> ()
-        | Error _ -> ());
-        Qcore.Compile_gov.end_compile session;
-        sessions.(i) <- None)
-  in
-  (* Q1 and Q2 start almost together (Q1 gets more CPU early), Q3 later. *)
-  spawn_query 0 ~delay:2.0 ~template:4;
-  spawn_query 1 ~delay:6.0 ~template:0;
-  spawn_query 2 ~delay:30.0 ~template:5;
-  let sampler =
-    Sim.Engine.every eng ~interval:2.0 (fun () ->
-        Array.iteri
-          (fun i _ ->
-            let usage =
-              match sessions.(i) with
-              | Some session -> Qcore.Compile_gov.usage session
-              | None -> 0
-            in
-            Sim.Series.add series.(i) ~time:(Sim.Engine.now eng) (float_of_int usage))
-          series)
-  in
-  Sim.Engine.run eng ~until:600.;
-  Sim.Engine.cancel sampler;
-  (match Sim.Engine.failures eng with
-  | [] -> ()
-  | fs -> Printf.printf "  !! %d process failures\n" (List.length fs));
+  let r = Server.Figure2.run ~trace () in
+  if r.Server.Figure2.failures > 0 then
+    Printf.printf "  !! %d process failures\n" r.Server.Figure2.failures;
+  let series = r.Server.Figure2.series in
   let n = Sim.Series.length series.(0) in
   (* Trim trailing all-zero samples (everything finished). *)
   let value arr k =
@@ -174,7 +99,37 @@ let figure2 () =
   Printf.printf "  Q1 %s\n  Q2 %s\n  Q3 %s\n" (spark series.(0)) (spark series.(1)) (spark series.(2));
   print_endline
     "  (flat segments are compilations blocked at a monitor; memory drops\n\
-    \   to zero when a compilation completes and frees its memory)"
+    \   to zero when a compilation completes and frees its memory)";
+  if !trace_requested then begin
+    let records = Obs.Trace.records trace in
+    (* Render the figure directly from the trace stream: the per-query
+       usage staircase and the exact gateway-wait intervals that explain
+       its flat segments. *)
+    Printf.printf "\n  from the trace (%d events):\n" (Array.length records);
+    List.iter
+      (fun (qid, pts) ->
+        let peak = List.fold_left (fun a (_, u) -> max a u) 0 pts in
+        Printf.printf "    %-10s %d usage points, peak %s\n" qid
+          (List.length pts)
+          (Dbmem.Units.bytes_to_string peak))
+      (Obs.Analyze.usage_points records);
+    List.iter
+      (fun (w : Obs.Analyze.wait) ->
+        if w.Obs.Analyze.finish -. w.Obs.Analyze.start > 0.5 then
+          Printf.printf "    %-10s blocked at %-8s %7.1fs .. %7.1fs (%s)\n"
+            w.Obs.Analyze.qid w.Obs.Analyze.gate w.Obs.Analyze.start
+            w.Obs.Analyze.finish
+            (match w.Obs.Analyze.outcome with
+            | `Acquired -> "acquired"
+            | `Timeout -> "timeout"
+            | `Open -> "open"))
+      (Obs.Analyze.gateway_waits records);
+    Obs.Export.chrome_to_file "figure2-trace.json" records;
+    Obs.Export.jsonl_to_file "figure2-trace.jsonl" records;
+    Printf.printf
+      "  wrote figure2-trace.json (chrome://tracing, Perfetto) and \
+       figure2-trace.jsonl\n"
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Figures 3-5: throughput at 30/35/40 clients *)
@@ -320,7 +275,7 @@ let overhead () =
   (* Gateway acquire/release (uncontended fast path). *)
   let monitor_pair =
     let eng = Sim.Engine.create () in
-    let monitor = Qcore.Monitor.create eng ~name:"bench" ~slots:8 ~timeout:100. in
+    let monitor = Qcore.Monitor.create eng ~name:"bench" ~slots:8 ~timeout:100. () in
     fun () ->
       (match Qcore.Monitor.acquire monitor () with
       | Ok () -> ()
@@ -605,10 +560,18 @@ let experiments =
 
 let () =
   Logs.set_level (Some Logs.Error);
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--trace" then begin
+          trace_requested := true;
+          false
+        end
+        else true)
+      (List.tl (Array.to_list Sys.argv))
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match args with _ :: _ -> args | [] -> List.map fst experiments
   in
   print_endline "CIDR'07 query-compilation throttling: reproduction benchmarks";
   List.iter

@@ -355,6 +355,87 @@ let chaos_cmd =
       $ ballast_step_s $ storm_arg $ burst_arg $ glitch_arg $ think_arg
       $ workload_arg)
 
+let trace_cmd =
+  let scenario_arg =
+    Arg.(
+      value
+      & opt (enum [ ("server", `Server); ("figure2", `Figure2) ]) `Server
+      & info [ "scenario" ]
+          ~doc:
+            "What to trace: $(b,server) (a short SALES run on the full \
+             server) or $(b,figure2) (the paper's three-query throttling \
+             example).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "trace"
+      & info [ "out"; "o" ] ~docv:"PREFIX"
+          ~doc:"Write PREFIX.json (Chrome trace-event) and PREFIX.jsonl.")
+  in
+  let trace_clients_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "clients"; "c" ]
+          ~doc:"Concurrent clients (server scenario only).")
+  in
+  let trace_measure_arg =
+    Arg.(
+      value & opt float 240.
+      & info [ "measure" ] ~doc:"Simulated seconds (server scenario only).")
+  in
+  let action scenario out clients measure seed =
+    let trace = Obs.Trace.create () in
+    (match scenario with
+    | `Figure2 ->
+        let r = Server.Figure2.run ~trace () in
+        if r.Server.Figure2.failures > 0 then
+          Printf.printf "!! %d process failures\n" r.Server.Figure2.failures
+    | `Server ->
+        let cfg = { (Server.Config.default ()) with Server.Config.seed } in
+        ignore
+          (Server.Experiment.run ~config:cfg ~trace ~clients ~warmup:0.
+             ~measure ~slice:60. ()));
+    let records = Obs.Trace.records trace in
+    Printf.printf "captured %d trace events (%d dropped)\n"
+      (Array.length records) (Obs.Trace.dropped trace);
+    (* Per-category counts. *)
+    let cats = Hashtbl.create 8 in
+    Array.iter
+      (fun (r : Obs.Trace.record) ->
+        let c = Obs.Event.category r.Obs.Trace.event in
+        Hashtbl.replace cats c
+          (1 + Option.value ~default:0 (Hashtbl.find_opt cats c)))
+      records;
+    Hashtbl.fold (fun c n acc -> (c, n) :: acc) cats []
+    |> List.sort compare
+    |> List.iter (fun (c, n) -> Printf.printf "  %-12s %d\n" c n);
+    (* Gateway wait percentiles, from the trace. *)
+    List.iter
+      (fun (gate, h) ->
+        Format.printf "gateway %-10s waits: %a@." gate Obs.Hist.pp_summary h)
+      (Obs.Analyze.wait_histograms records);
+    List.iter
+      (fun (gate, peak) ->
+        Printf.printf "gateway %-10s peak concurrent holders: %d\n" gate peak)
+      (Obs.Analyze.max_holders records);
+    let violations = Obs.Analyze.admission_violations records in
+    Printf.printf "admission-order violations: %d\n" (List.length violations);
+    let chrome = out ^ ".json" and jsonl = out ^ ".jsonl" in
+    Obs.Export.chrome_to_file chrome records;
+    Obs.Export.jsonl_to_file jsonl records;
+    Printf.printf "wrote %s (load in chrome://tracing or https://ui.perfetto.dev) and %s\n"
+      chrome jsonl
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Record a query-lifecycle trace and export it as Chrome \
+          trace-event JSON + JSONL.")
+    Term.(
+      const action $ scenario_arg $ out_arg $ trace_clients_arg
+      $ trace_measure_arg $ seed_arg)
+
 let info_cmd =
   let action () =
     let cfg = Server.Config.default () in
@@ -367,4 +448,4 @@ let info_cmd =
 let () =
   setup_logs (Some Logs.Warning);
   let doc = "Simulated DBMS reproducing CIDR'07 query-compilation throttling" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "dbsim" ~doc) [ run_cmd; compare_cmd; sweep_cmd; chaos_cmd; info_cmd; verbose_cmd; sql_cmd ]))
+  exit (Cmd.eval (Cmd.group (Cmd.info "dbsim" ~doc) [ run_cmd; compare_cmd; sweep_cmd; chaos_cmd; trace_cmd; info_cmd; verbose_cmd; sql_cmd ]))

@@ -40,13 +40,14 @@ type t = {
   eng : Sim.Engine.t;
   manager : Dbmem.Manager.t;
   config : config;
+  trace : Obs.Trace.t;
   mutable comps_rev : component list;
   mutable pressure : bool;
   mutable ticks : int;
   mutable timer : Sim.Engine.handle option;
 }
 
-let create eng manager config =
+let create ?(trace = Obs.Trace.null) eng manager config =
   if config.interval <= 0. then invalid_arg "Broker.create: interval";
   if config.reserved_fraction < 0. || config.reserved_fraction >= 1. then
     invalid_arg "Broker.create: reserved_fraction";
@@ -54,6 +55,7 @@ let create eng manager config =
     eng;
     manager;
     config;
+    trace;
     comps_rev = [];
     pressure = false;
     ticks = 0;
@@ -152,6 +154,7 @@ let tick t =
       end
     in
     (* 3. Decide verdicts and notify. *)
+    let samples_rev = ref [] in
     List.iter
       (fun (c, used, predicted, target) ->
         c.ctarget <- target;
@@ -161,10 +164,28 @@ let tick t =
           else if predicted > target then Hold_rate
           else Can_grow
         in
+        if Obs.Trace.enabled t.trace then
+          samples_rev :=
+            {
+              Obs.Event.comp = c.name;
+              used;
+              predicted;
+              target;
+              verdict =
+                (match verdict with
+                | Can_grow -> Obs.Event.Grow
+                | Hold_rate -> Obs.Event.Stable
+                | Must_shrink -> Obs.Event.Shrink);
+            }
+            :: !samples_rev;
         let n = { verdict; target; predicted; pressure } in
         c.last <- Some n;
         match c.notify with None -> () | Some f -> f n)
-      targets
+      targets;
+    if Obs.Trace.enabled t.trace then
+      Obs.Trace.emit t.trace ~time:now ~qid:""
+        (Obs.Event.Broker_tick
+           { pressure; budget; components = List.rev !samples_rev })
   end
 
 let start t =

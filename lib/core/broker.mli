@@ -37,8 +37,10 @@ type config = {
 
 val default_config : config
 
-(** [create eng manager config] — nothing runs until {!start}. *)
-val create : Sim.Engine.t -> Dbmem.Manager.t -> config -> t
+(** [create ?trace eng manager config] — nothing runs until {!start}.
+    When [trace] is an enabled sink, every tick records an
+    {!Obs.Event.Broker_tick} with per-component samples and verdicts. *)
+val create : ?trace:Obs.Trace.t -> Sim.Engine.t -> Dbmem.Manager.t -> config -> t
 
 (** [register t ~name ~clerk ?weight ?min_bytes ?demand ?notify ()] adds a
     subcomponent. [weight] scales its share under pressure (default [1.]);

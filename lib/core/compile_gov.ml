@@ -12,6 +12,8 @@ let pressure_name = function
   | Critical -> "critical"
 
 type t = {
+  geng : Sim.Engine.t;
+  gtrace : Obs.Trace.t;
   gclerk : Dbmem.Manager.clerk;
   config : Throttle_config.t;
   levels : Throttle_config.level array;
@@ -25,24 +27,28 @@ type t = {
 
 type session = {
   gov : t;
+  sqid : string;
   mutable susage : int;
   mutable speak : int;
   mutable held : int;
   mutable finished : bool;
 }
 
-let create eng _manager ~clerk ~cpus ~config ~enabled () =
+let create eng _manager ?(trace = Obs.Trace.null) ~clerk ~cpus ~config
+    ~enabled () =
   Throttle_config.validate config ~cpus;
   let levels = Array.of_list config.Throttle_config.levels in
   let gmonitors =
     Array.map
       (fun (l : Throttle_config.level) ->
-        Monitor.create eng ~name:l.lname
+        Monitor.create eng ~trace ~name:l.lname
           ~slots:(Throttle_config.slot_count l.slots ~cpus)
-          ~timeout:l.timeout)
+          ~timeout:l.timeout ())
       levels
   in
   {
+    geng = eng;
+    gtrace = trace;
     gclerk = clerk;
     config;
     levels;
@@ -77,10 +83,15 @@ let threshold t i =
   done;
   !thr
 
-let begin_compile t =
+let emit t ~qid event =
+  if Obs.Trace.enabled t.gtrace then
+    Obs.Trace.emit t.gtrace ~time:(Sim.Engine.now t.geng) ~qid event
+
+let begin_compile ?(qid = "") t =
   t.active <- t.active + 1;
   t.counts.(0) <- t.counts.(0) + 1;
-  { gov = t; susage = 0; speak = 0; held = 0; finished = false }
+  emit t ~qid Obs.Event.Compile_begin;
+  { gov = t; sqid = qid; susage = 0; speak = 0; held = 0; finished = false }
 
 let promote s =
   let t = s.gov in
@@ -99,7 +110,7 @@ let rec pass_gates s new_usage =
   else if new_usage <= threshold t s.held then Ok ()
   else begin
     let priority = -(new_usage / (1 lsl 20)) in
-    match Monitor.acquire t.gmonitors.(s.held) ~priority () with
+    match Monitor.acquire t.gmonitors.(s.held) ~priority ~qid:s.sqid () with
     | Error `Timeout -> Error (Gateway_timeout (Monitor.name t.gmonitors.(s.held)))
     | Ok () ->
         promote s;
@@ -120,6 +131,8 @@ let alloc s n =
       | Ok () ->
           s.susage <- new_usage;
           if new_usage > s.speak then s.speak <- new_usage;
+          emit t ~qid:s.sqid
+            (Obs.Event.Compile_alloc { bytes = n; usage = new_usage });
           Ok ())
 
 let free s n =
@@ -134,13 +147,14 @@ let end_compile s =
     s.finished <- true;
     (* Release in reverse acquisition order. *)
     for i = s.held - 1 downto 0 do
-      Monitor.release t.gmonitors.(i)
+      Monitor.release ~qid:s.sqid t.gmonitors.(i)
     done;
     t.counts.(s.held) <- t.counts.(s.held) - 1;
     s.held <- 0;
     Dbmem.Manager.free t.gclerk s.susage;
     s.susage <- 0;
-    t.active <- t.active - 1
+    t.active <- t.active - 1;
+    emit t ~qid:s.sqid (Obs.Event.Compile_end { peak = s.speak })
   end
 
 let usage s = s.susage

@@ -28,12 +28,15 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
-(** [create eng manager ~clerk ~cpus ~config ~enabled ()]. With
+(** [create eng manager ?trace ~clerk ~cpus ~config ~enabled ()]. With
     [enabled = false] the governor only does clerk accounting — the
-    unthrottled baseline of Figures 3-5. *)
+    unthrottled baseline of Figures 3-5. [trace], when enabled, records
+    compile begin/alloc/end and every gateway wait (it is passed down to
+    the ladder's monitors). *)
 val create :
   Sim.Engine.t ->
   Dbmem.Manager.t ->
+  ?trace:Obs.Trace.t ->
   clerk:Dbmem.Manager.clerk ->
   cpus:int ->
   config:Throttle_config.t ->
@@ -45,9 +48,10 @@ val create :
 
 type session
 
-(** [begin_compile t ()] registers a new compilation (initially below the
-    first threshold, hence unthrottled). *)
-val begin_compile : t -> session
+(** [begin_compile t] registers a new compilation (initially below the
+    first threshold, hence unthrottled). [qid] labels the session's trace
+    records. *)
+val begin_compile : ?qid:string -> t -> session
 
 (** [alloc s n] reports [n] more bytes of compile memory demand. May block
     the calling process at one or more monitors. On [Error] the compilation

@@ -9,15 +9,26 @@
 
 type t
 
-val create : Sim.Engine.t -> name:string -> slots:int -> timeout:float -> t
+(** [create eng ?trace ~name ~slots ~timeout ()]. When [trace] is an
+    enabled sink, every acquire-wait/acquired/timeout/release at this
+    monitor is recorded as an {!Obs.Event.Gateway} event. *)
+val create :
+  Sim.Engine.t ->
+  ?trace:Obs.Trace.t ->
+  name:string ->
+  slots:int ->
+  timeout:float ->
+  unit ->
+  t
 
 (** [acquire t ()] blocks until a slot is free or the monitor's timeout
     elapses. Must run inside a simulation process. Lower [priority] is
-    served first; default [0] (FIFO). *)
-val acquire : t -> ?priority:int -> unit -> (unit, [ `Timeout ]) result
+    served first; default [0] (FIFO). [qid] labels the trace records. *)
+val acquire :
+  t -> ?priority:int -> ?qid:string -> unit -> (unit, [ `Timeout ]) result
 
 (** Give the slot back. *)
-val release : t -> unit
+val release : ?qid:string -> t -> unit
 
 (** Adjust concurrency at runtime (dynamic policies). *)
 val set_slots : t -> int -> unit

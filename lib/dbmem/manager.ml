@@ -16,6 +16,10 @@ and t = {
   mutable alloc_count : int;
   mutable alloc_fault : (string -> int -> bool) option;
   mutable faulted_allocs : int;
+  (* Tracing: dbmem knows no clock, so the trace comes with a [now]
+     callback supplied by whoever owns the simulation engine. *)
+  mutable trace : Obs.Trace.t;
+  mutable trace_now : unit -> float;
 }
 
 exception Out_of_memory of { clerk : string; requested : int; free : int }
@@ -31,7 +35,17 @@ let create ~total () =
     alloc_count = 0;
     alloc_fault = None;
     faulted_allocs = 0;
+    trace = Obs.Trace.null;
+    trace_now = (fun () -> 0.);
   }
+
+let set_trace t ~now trace =
+  t.trace <- trace;
+  t.trace_now <- now
+
+let emit t event =
+  if Obs.Trace.enabled t.trace then
+    Obs.Trace.emit t.trace ~time:(t.trace_now ()) ~qid:"" event
 
 let total t = t.total
 let used t = t.used_total
@@ -66,7 +80,10 @@ let reclaim t ~target_free =
           let got = if d.dclerk.used = 0 then 0 else d.shrink want in
           ask rest (freed + got)
   in
-  ask t.donors 0
+  let wanted = target_free - available t in
+  let freed = ask t.donors 0 in
+  if freed > 0 then emit t (Obs.Event.Reclaim { wanted; freed });
+  freed
 
 let demand t n = reclaim t ~target_free:n
 
@@ -85,6 +102,8 @@ let alloc c n =
   if available t < n then ignore (reclaim t ~target_free:n);
   if available t < n then begin
     t.oom_count <- t.oom_count + 1;
+    emit t
+      (Obs.Event.Oom { clerk = c.cname; requested = n; free = available t });
     Error `Out_of_memory
   end
   else begin

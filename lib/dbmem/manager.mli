@@ -66,6 +66,13 @@ val register_donor :
     allocating yet. *)
 val demand : t -> int -> int
 
+(** {1 Tracing} *)
+
+(** [set_trace t ~now trace] records OOM and donor-reclaim events into
+    [trace], timestamped by the [now] callback ([dbmem] has no clock of
+    its own — pass [fun () -> Sim.Engine.now eng]). *)
+val set_trace : t -> now:(unit -> float) -> Obs.Trace.t -> unit
+
 (** {1 Fault injection} *)
 
 (** [set_alloc_fault t (Some f)] makes {!alloc} fail (before any donor

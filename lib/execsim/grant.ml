@@ -1,4 +1,6 @@
 type t = {
+  eng : Sim.Engine.t;
+  gtrace : Obs.Trace.t;
   sem : Sim.Resource.Sem.t;
   clerk : Dbmem.Manager.clerk;
   max_query_frac : float;
@@ -6,12 +8,14 @@ type t = {
   timeout : float;
 }
 
-let create eng _manager ~clerk ~total ?(max_query_frac = 0.25) ?(min_grant = 1024 * 1024)
-    ?(timeout = 300.) () =
+let create eng _manager ?(trace = Obs.Trace.null) ~clerk ~total
+    ?(max_query_frac = 0.25) ?(min_grant = 1024 * 1024) ?(timeout = 300.) () =
   if total <= 0 then invalid_arg "Grant.create: total";
   if not (max_query_frac > 0. && max_query_frac <= 1.) then
     invalid_arg "Grant.create: max_query_frac";
   {
+    eng;
+    gtrace = trace;
     sem = Sim.Resource.Sem.create eng ~name:"grants" ~capacity:total ();
     clerk;
     max_query_frac;
@@ -19,30 +23,44 @@ let create eng _manager ~clerk ~total ?(max_query_frac = 0.25) ?(min_grant = 102
     timeout;
   }
 
+let trace t = t.gtrace
+
+let emit t ~qid phase ~bytes =
+  if Obs.Trace.enabled t.gtrace then
+    Obs.Trace.emit t.gtrace ~time:(Sim.Engine.now t.eng) ~qid
+      (Obs.Event.Grant { phase; bytes })
+
 let target_grant t ~ideal =
   let cap =
     int_of_float (t.max_query_frac *. float_of_int (Sim.Resource.Sem.capacity t.sem))
   in
   max (min ideal t.min_grant) (min ideal cap)
 
-let acquire t ~ideal =
+let acquire t ?(qid = "") ~ideal () =
   if ideal < 0 then invalid_arg "Grant.acquire: negative";
   let n = target_grant t ~ideal in
+  emit t ~qid Obs.Event.Wait ~bytes:n;
   match Sim.Resource.Sem.acquire t.sem ~timeout:t.timeout ~n () with
-  | Sim.Resource.Timed_out -> Error `Timeout
+  | Sim.Resource.Timed_out ->
+      emit t ~qid Obs.Event.Timeout ~bytes:n;
+      Error `Timeout
   | Sim.Resource.Acquired -> (
       (* Reserve physically so the broker sees execution memory; donors
          (caches) are shrunk if needed. *)
       match Dbmem.Manager.alloc t.clerk n with
-      | Ok () -> Ok n
+      | Ok () ->
+          emit t ~qid Obs.Event.Acquired ~bytes:n;
+          Ok n
       | Error `Out_of_memory ->
           Sim.Resource.Sem.release t.sem ~n;
+          emit t ~qid Obs.Event.Timeout ~bytes:n;
           Error `Out_of_memory)
 
-let release t n =
+let release t ?(qid = "") n =
   if n > 0 then begin
     Dbmem.Manager.free t.clerk n;
-    Sim.Resource.Sem.release t.sem ~n
+    Sim.Resource.Sem.release t.sem ~n;
+    emit t ~qid Obs.Event.Release ~bytes:n
   end
 
 let min_grant t = t.min_grant

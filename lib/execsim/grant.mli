@@ -14,6 +14,7 @@ type t
 val create :
   Sim.Engine.t ->
   Dbmem.Manager.t ->
+  ?trace:Obs.Trace.t ->
   clerk:Dbmem.Manager.clerk ->
   total:int ->
   ?max_query_frac:float ->
@@ -22,14 +23,19 @@ val create :
   unit ->
   t
 
-(** [acquire t ~ideal] blocks until granted. Returns the granted bytes
+(** The sink this grant queue records into ({!Obs.Trace.null} unless one
+    was passed to {!create}). The runner picks its trace up from here. *)
+val trace : t -> Obs.Trace.t
+
+(** [acquire t ~ideal ()] blocks until granted. Returns the granted bytes
     ([<= ideal], trimmed to the per-query cap, floored at [min_grant] or
-    [ideal] if smaller). *)
-val acquire : t -> ideal:int -> (int, [ `Timeout | `Out_of_memory ]) result
+    [ideal] if smaller). [qid] labels the trace records. *)
+val acquire :
+  t -> ?qid:string -> ideal:int -> unit -> (int, [ `Timeout | `Out_of_memory ]) result
 
 (** [release t n] returns granted bytes ([n] must be what {!acquire}
     returned). *)
-val release : t -> int -> unit
+val release : t -> ?qid:string -> int -> unit
 
 (** Adjust the workspace size (broker pressure). In-flight grants are
     unaffected; the change applies to queued and future requests. *)

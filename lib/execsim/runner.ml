@@ -74,17 +74,23 @@ let spill_io res ~bytes =
   go (bytes / 2) true;
   go (bytes / 2) false
 
-let run ?grant_cap res config plan =
+let run ?grant_cap ?(qid = "") res config plan =
   let start = Sim.Engine.now res.eng in
+  let trace = Grant.trace res.grants in
+  let emit ev =
+    if Obs.Trace.enabled trace then
+      Obs.Trace.emit trace ~time:(Sim.Engine.now res.eng) ~qid ev
+  in
   let ideal = Optimizer.Plan.grant_bytes plan in
   (* A capped run asks the semaphore for less than the plan's ideal; the
      shortfall below [ideal] spills, exactly as a trimmed grant would. *)
   let ask = match grant_cap with Some c -> min ideal (max 1 c) | None -> ideal in
-  match Grant.acquire res.grants ~ideal:ask with
+  match Grant.acquire res.grants ~qid ~ideal:ask () with
   | Error `Timeout -> Error `Grant_timeout
   | Error `Out_of_memory -> Error `Out_of_memory
   | Ok granted ->
-      let finally () = Grant.release res.grants granted in
+      let finally () = Grant.release res.grants ~qid granted in
+      emit Obs.Event.Exec_begin;
       Fun.protect ~finally (fun () ->
           let scans = Optimizer.Plan.scans plan in
           let total_pages =
@@ -107,9 +113,15 @@ let run ?grant_cap res config plan =
           in
           let shortfall = ideal - granted in
           let spilled = shortfall > 0 in
-          if spilled then
+          if spilled then begin
+            emit (Obs.Event.Spill { bytes = shortfall });
             spill_io res
-              ~bytes:(int_of_float (float_of_int shortfall *. config.spill_io_factor));
+              ~bytes:(int_of_float (float_of_int shortfall *. config.spill_io_factor))
+          end;
+          (* Exec_end here, inside the protected body, so the exec span
+             closes before [finally] releases the grant — Chrome B/E pairs
+             must nest. *)
+          emit (Obs.Event.Exec_end { granted; ideal; spilled; pages = pages_read });
           Ok
             {
               duration = Sim.Engine.now res.eng -. start;

@@ -45,9 +45,11 @@ type error = [ `Grant_timeout | `Out_of_memory ]
     process. The grant is always released, also on error. [grant_cap]
     bounds the bytes requested from the semaphore (degraded, spill-heavy
     execution under memory pressure); spill volume is still measured
-    against the plan's ideal. *)
+    against the plan's ideal. [qid] labels trace records; the trace sink
+    is the one the grant queue was created with ({!Grant.trace}). *)
 val run :
   ?grant_cap:int ->
+  ?qid:string ->
   resources ->
   config ->
   Optimizer.Plan.t ->

@@ -1,0 +1,168 @@
+type wait = {
+  qid : string;
+  gate : string;
+  start : float;
+  finish : float;
+  outcome : [ `Acquired | `Timeout | `Open ];
+}
+
+let last_time records =
+  let n = Array.length records in
+  if n = 0 then 0. else (records.(n - 1) : Trace.record).time
+
+let gateway_waits records =
+  (* (gate, qid) → start time of the pending wait. A qid waits on at most
+     one gate at a time (the ladder is acquired in order), so the pair is
+     a unique key. *)
+  let pending : (string * string, float) Hashtbl.t = Hashtbl.create 64 in
+  let out = ref [] in
+  Array.iter
+    (fun (r : Trace.record) ->
+      match r.event with
+      | Event.Gateway { gate; phase; _ } -> (
+          let key = (gate, r.qid) in
+          match phase with
+          | Event.Wait -> Hashtbl.replace pending key r.time
+          | Event.Acquired | Event.Timeout -> (
+              match Hashtbl.find_opt pending key with
+              | None -> () (* Wait record lost to ring eviction *)
+              | Some start ->
+                  Hashtbl.remove pending key;
+                  let outcome =
+                    if phase = Event.Acquired then `Acquired else `Timeout
+                  in
+                  out :=
+                    { qid = r.qid; gate; start; finish = r.time; outcome }
+                    :: !out)
+          | Event.Release -> ())
+      | _ -> ())
+    records;
+  let fin = last_time records in
+  Hashtbl.iter
+    (fun (gate, qid) start ->
+      out := { qid; gate; start; finish = fin; outcome = `Open } :: !out)
+    pending;
+  List.sort (fun a b -> compare (a.start, a.gate, a.qid) (b.start, b.gate, b.qid))
+    (List.rev !out)
+
+let fold_holders records f =
+  let holders : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (fun (r : Trace.record) ->
+      match r.event with
+      | Event.Gateway { gate; phase; _ } -> (
+          let cur = Option.value ~default:0 (Hashtbl.find_opt holders gate) in
+          match phase with
+          | Event.Acquired ->
+              let cur = cur + 1 in
+              Hashtbl.replace holders gate cur;
+              f gate r.time cur
+          | Event.Release ->
+              (* Clamp at zero: a Release whose Acquired was evicted from
+                 the ring must not mask a later over-admission. *)
+              Hashtbl.replace holders gate (Stdlib.max 0 (cur - 1))
+          | Event.Wait | Event.Timeout -> ())
+      | _ -> ())
+    records
+
+let max_holders records =
+  let peaks : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  fold_holders records (fun gate _time cur ->
+      let best = Option.value ~default:0 (Hashtbl.find_opt peaks gate) in
+      if cur > best then Hashtbl.replace peaks gate cur);
+  Hashtbl.fold (fun g n acc -> (g, n) :: acc) peaks []
+  |> List.sort compare
+
+let holder_violations records ~slots =
+  let out = ref [] in
+  fold_holders records (fun gate time cur ->
+      if cur > slots gate then out := (gate, time, cur) :: !out);
+  List.rev !out
+
+let admission_violations records =
+  (* Per gate: the set of currently-waiting (qid → priority, arrival seq).
+     Arrival order is the trace order of Wait records, which matches the
+     semaphore's FIFO seq because emission happens in the waiter's own
+     process step right before it blocks. *)
+  let waiting : (string, (string, int * int) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let gate_tbl gate =
+    match Hashtbl.find_opt waiting gate with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Hashtbl.create 16 in
+        Hashtbl.add waiting gate tbl;
+        tbl
+  in
+  let seq = ref 0 in
+  let out = ref [] in
+  Array.iter
+    (fun (r : Trace.record) ->
+      match r.event with
+      | Event.Gateway { gate; phase; priority } -> (
+          let tbl = gate_tbl gate in
+          match phase with
+          | Event.Wait ->
+              incr seq;
+              Hashtbl.replace tbl r.qid (priority, !seq)
+          | Event.Acquired -> (
+              match Hashtbl.find_opt tbl r.qid with
+              | None -> () (* fast path: never queued, or Wait evicted *)
+              | Some (aprio, aseq) ->
+                  Hashtbl.remove tbl r.qid;
+                  Hashtbl.iter
+                    (fun oqid (oprio, oseq) ->
+                      (* Strictly-better priority waiting, or equal
+                         priority that arrived first: FIFO violated.
+                         Waiters that enqueued after the admitted one
+                         (oseq > aseq) are ignored — they may have raced
+                         in between the grant and this record. *)
+                      if
+                        oseq < aseq
+                        && (oprio < aprio
+                           || (oprio = aprio && oseq < aseq))
+                      then out := (gate, r.qid, oqid, r.time) :: !out)
+                    tbl)
+          | Event.Timeout -> Hashtbl.remove tbl r.qid
+          | Event.Release -> ())
+      | _ -> ())
+    records;
+  List.rev !out
+
+let usage_points records =
+  let series : (string, (float * int) list ref) Hashtbl.t = Hashtbl.create 16 in
+  let push qid pt =
+    match Hashtbl.find_opt series qid with
+    | Some l -> l := pt :: !l
+    | None -> Hashtbl.add series qid (ref [ pt ])
+  in
+  Array.iter
+    (fun (r : Trace.record) ->
+      match r.event with
+      | Event.Compile_begin -> push r.qid (r.time, 0)
+      | Event.Compile_alloc { usage; _ } -> push r.qid (r.time, usage)
+      | Event.Compile_end _ -> push r.qid (r.time, 0)
+      | _ -> ())
+    records;
+  Hashtbl.fold (fun qid l acc -> (qid, List.rev !l) :: acc) series []
+  |> List.sort compare
+
+let wait_histograms records =
+  let hists : (string, Hist.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun w ->
+      match w.outcome with
+      | `Open -> ()
+      | `Acquired | `Timeout ->
+          let h =
+            match Hashtbl.find_opt hists w.gate with
+            | Some h -> h
+            | None ->
+                let h = Hist.create () in
+                Hashtbl.add hists w.gate h;
+                h
+          in
+          Hist.add h (int_of_float ((w.finish -. w.start) *. 1e6)))
+    (gateway_waits records);
+  Hashtbl.fold (fun g h acc -> (g, h) :: acc) hists [] |> List.sort compare

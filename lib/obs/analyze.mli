@@ -1,0 +1,48 @@
+(** Trace analysis: turn the raw record stream back into the quantities
+    the paper's evaluation (and the invariant tests) talk about —
+    per-gateway wait intervals, concurrent-holder counts, admission-order
+    checks, and per-query memory-usage timelines (Figure 2). *)
+
+type wait = {
+  qid : string;
+  gate : string;
+  start : float;
+  finish : float;  (** = [start] of the run's end for [`Open] waits *)
+  outcome : [ `Acquired | `Timeout | `Open ];
+}
+
+(** All gateway wait intervals, in trace order of their [Wait] records.
+    A wait still pending when the trace ends is reported as [`Open] with
+    [finish] equal to the last record's time. *)
+val gateway_waits : Trace.record array -> wait list
+
+(** Peak concurrent holders per gate, from Acquired/Release deltas. *)
+val max_holders : Trace.record array -> (string * int) list
+
+(** [holder_violations records ~slots] returns every [(gate, time, holders)]
+    where the concurrent-holder count of [gate] exceeded [slots gate].
+    Robust to ring drops: unmatched releases never drive the count below
+    zero, and an Acquired without a recorded Wait still counts as a hold
+    (drops can only lose old records, so holders are never overcounted). *)
+val holder_violations :
+  Trace.record array -> slots:(string -> int) -> (string * float * int) list
+
+(** Admission-order check. The gateways serve waiters in priority order
+    (smaller first) and FIFO among equal priorities; a violation is an
+    [Acquired] for a waiter while another waiter of the same gate that
+    (a) started waiting earlier and (b) has priority ≤ the admitted
+    waiter's is still queued. Condition (b) makes the check immune to the
+    benign race where a waiter enqueues between the semaphore granting a
+    slot and the resumed process writing its [Acquired] record. Returns
+    [(gate, admitted_qid, passed_over_qid, time)]. *)
+val admission_violations :
+  Trace.record array -> (string * string * string * float) list
+
+(** Per-query compile memory-usage timeline: [(time, usage_bytes)] points
+    from [Compile_begin] (0), each [Compile_alloc], and [Compile_end] (0),
+    keyed by qid — the data behind the paper's Figure 2. *)
+val usage_points : Trace.record array -> (string * (float * int) list) list
+
+(** Per-gate histogram of completed wait durations, in integer
+    microseconds. *)
+val wait_histograms : Trace.record array -> (string * Hist.t) list

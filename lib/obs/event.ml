@@ -1,0 +1,77 @@
+type value = I of int | F of float | S of string | B of bool
+type wait_phase = Wait | Acquired | Timeout | Release
+
+let wait_phase_name = function
+  | Wait -> "wait"
+  | Acquired -> "acquired"
+  | Timeout -> "timeout"
+  | Release -> "release"
+
+type broker_verdict = Grow | Stable | Shrink
+
+let verdict_name = function
+  | Grow -> "grow"
+  | Stable -> "stable"
+  | Shrink -> "shrink"
+
+type component_sample = {
+  comp : string;
+  used : int;
+  predicted : int;
+  target : int;
+  verdict : broker_verdict;
+}
+
+type t =
+  | Compile_begin
+  | Compile_alloc of { bytes : int; usage : int }
+  | Compile_end of { peak : int }
+  | Gateway of { gate : string; phase : wait_phase; priority : int }
+  | Broker_tick of {
+      pressure : bool;
+      budget : int;
+      components : component_sample list;
+    }
+  | Grant of { phase : wait_phase; bytes : int }
+  | Exec_begin
+  | Exec_end of { granted : int; ideal : int; spilled : bool; pages : int }
+  | Spill of { bytes : int }
+  | Retry of { attempt : int; pause_s : float; kind : string }
+  | Shed
+  | Degrade of { rung : string }
+  | Cache_hit
+  | Query_error of { kind : string }
+  | Mem of { clerk : string; used : int }
+  | Oom of { clerk : string; requested : int; free : int }
+  | Reclaim of { wanted : int; freed : int }
+  | Custom of { cat : string; name : string; args : (string * value) list }
+
+let category = function
+  | Compile_begin | Compile_alloc _ | Compile_end _ -> "compile"
+  | Gateway _ -> "gateway"
+  | Broker_tick _ -> "broker"
+  | Grant _ -> "grant"
+  | Exec_begin | Exec_end _ | Spill _ -> "exec"
+  | Retry _ | Shed | Degrade _ | Cache_hit | Query_error _ -> "resilience"
+  | Mem _ | Oom _ | Reclaim _ -> "mem"
+  | Custom { cat; _ } -> cat
+
+let name = function
+  | Compile_begin -> "compile:begin"
+  | Compile_alloc _ -> "compile:alloc"
+  | Compile_end _ -> "compile:end"
+  | Gateway { phase; _ } -> "gateway:" ^ wait_phase_name phase
+  | Broker_tick _ -> "broker:tick"
+  | Grant { phase; _ } -> "grant:" ^ wait_phase_name phase
+  | Exec_begin -> "exec:begin"
+  | Exec_end _ -> "exec:end"
+  | Spill _ -> "exec:spill"
+  | Retry _ -> "resilience:retry"
+  | Shed -> "resilience:shed"
+  | Degrade _ -> "resilience:degrade"
+  | Cache_hit -> "resilience:cache_hit"
+  | Query_error _ -> "resilience:error"
+  | Mem _ -> "mem:sample"
+  | Oom _ -> "mem:oom"
+  | Reclaim _ -> "mem:reclaim"
+  | Custom { cat; name; _ } -> cat ^ ":" ^ name

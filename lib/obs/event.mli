@@ -1,0 +1,76 @@
+(** Typed query-lifecycle trace events.
+
+    Every decision point of the simulated DBMS that the paper's evaluation
+    depends on being able to {e see} — compile start/finish, each gateway
+    acquire-wait/acquired/timeout/release, broker ticks with per-component
+    targets and verdicts, grant-queue entry/grant/spill, and the
+    retry/shed/degrade decisions of the resilience ladder — has a typed
+    event here. Events are pure data: this module depends on nothing, so
+    every layer of the system (including [dbmem], which knows nothing about
+    the simulation clock) can emit them. *)
+
+(** Argument values for {!Custom} events and the exporters. *)
+type value = I of int | F of float | S of string | B of bool
+
+(** Lifecycle of a wait on an admission-controlled resource (a gateway
+    monitor or the grant semaphore): a waiter appears ([Wait]), is admitted
+    ([Acquired]) or gives up ([Timeout]), and eventually gives its slot back
+    ([Release]). *)
+type wait_phase = Wait | Acquired | Timeout | Release
+
+val wait_phase_name : wait_phase -> string
+
+(** The broker's per-component verdict, in trace vocabulary: [Grow] = may
+    keep allocating, [Stable] = hold the current rate, [Shrink] = release
+    down to the target. *)
+type broker_verdict = Grow | Stable | Shrink
+
+val verdict_name : broker_verdict -> string
+
+type component_sample = {
+  comp : string;
+  used : int;
+  predicted : int;
+  target : int;
+  verdict : broker_verdict;
+}
+
+type t =
+  | Compile_begin  (** a compilation session opened (span begin) *)
+  | Compile_alloc of { bytes : int; usage : int }
+      (** the session's demand grew by [bytes] to [usage] (post-gateway) *)
+  | Compile_end of { peak : int }  (** session closed; peak bytes reached *)
+  | Gateway of { gate : string; phase : wait_phase; priority : int }
+      (** admission at the named monitor; [priority] is the progress-based
+          queue priority (lower is served first), meaningful on [Wait] *)
+  | Broker_tick of {
+      pressure : bool;
+      budget : int;
+      components : component_sample list;
+    }
+  | Grant of { phase : wait_phase; bytes : int }
+      (** workspace-grant queue entry/grant/timeout/release of [bytes] *)
+  | Exec_begin
+  | Exec_end of { granted : int; ideal : int; spilled : bool; pages : int }
+  | Spill of { bytes : int }  (** workspace shortfall written to disk *)
+  | Retry of { attempt : int; pause_s : float; kind : string }
+      (** resilience ladder: attempt [attempt] failed with [kind], backing
+          off [pause_s] seconds before the next attempt *)
+  | Shed  (** admission control refused the query outright *)
+  | Degrade of { rung : string }
+      (** the query fell down the degradation ladder (e.g. greedy plan) *)
+  | Cache_hit  (** plan served from the plan cache; no compile memory *)
+  | Query_error of { kind : string }  (** final failure recorded *)
+  | Mem of { clerk : string; used : int }  (** periodic memory sample *)
+  | Oom of { clerk : string; requested : int; free : int }
+  | Reclaim of { wanted : int; freed : int }
+      (** donor shrink: the manager asked caches to give memory back *)
+  | Custom of { cat : string; name : string; args : (string * value) list }
+
+(** Coarse grouping used by exporters and summaries: one of ["compile"],
+    ["gateway"], ["broker"], ["grant"], ["exec"], ["resilience"], ["mem"]
+    or the category of the custom event. *)
+val category : t -> string
+
+(** Short display name, e.g. ["gateway:acquired"]. *)
+val name : t -> string

@@ -1,0 +1,290 @@
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let value_json = function
+  | Event.I i -> string_of_int i
+  | Event.F f -> Printf.sprintf "%.6g" f
+  | Event.S s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Event.B b -> if b then "true" else "false"
+
+let args_json args =
+  String.concat ","
+    (List.map
+       (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) (value_json v))
+       args)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event format                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Events for the whole simulated server (broker ticks, memory samples)
+   go on tid 0; each query id gets its own tid so its compile / wait /
+   hold / exec spans stack on one named track. *)
+let tid_of intern qid =
+  match Hashtbl.find_opt intern qid with
+  | Some tid -> tid
+  | None ->
+      let tid = Hashtbl.length intern + 1 in
+      Hashtbl.add intern qid tid;
+      tid
+
+type emitted = {
+  ph : char;
+  name : string;
+  cat : string;
+  ts : float;
+  tid : int;
+  args : (string * Event.value) list;
+}
+
+(* Lower one record into zero or more Chrome events. Wait → span begin;
+   Acquired → wait-span end plus hold-span begin; Timeout → wait-span
+   end; Release → hold-span end. Chrome matches B/E pairs per tid by
+   nesting, which the emission order in the instrumented code guarantees
+   (waits and holds are properly bracketed inside the compile span). *)
+let lower intern (r : Trace.record) : emitted list =
+  let tid = if r.qid = "" then 0 else tid_of intern r.qid in
+  let ts = r.time *. 1e6 in
+  let ev ?(args = []) ?(cat = Event.category r.event) ph name =
+    { ph; name; cat; ts; tid; args }
+  in
+  match r.event with
+  | Event.Compile_begin -> [ ev 'B' "compile" ]
+  | Event.Compile_alloc { usage; _ } ->
+      [
+        ev 'C' ("compile:" ^ r.qid) ~args:[ ("usage", Event.I usage) ];
+      ]
+  | Event.Compile_end { peak } ->
+      [
+        ev 'C' ("compile:" ^ r.qid) ~args:[ ("usage", Event.I 0) ];
+        ev 'E' "compile" ~args:[ ("peak", Event.I peak) ];
+      ]
+  | Event.Gateway { gate; phase; priority } -> (
+      match phase with
+      | Event.Wait ->
+          [ ev 'B' ("wait:" ^ gate) ~args:[ ("priority", Event.I priority) ] ]
+      | Event.Acquired -> [ ev 'E' ("wait:" ^ gate); ev 'B' ("hold:" ^ gate) ]
+      | Event.Timeout ->
+          [ ev 'E' ("wait:" ^ gate) ~args:[ ("outcome", Event.S "timeout") ] ]
+      | Event.Release -> [ ev 'E' ("hold:" ^ gate) ])
+  | Event.Broker_tick { pressure; budget; components } ->
+      let targets =
+        List.map (fun c -> (c.Event.comp, Event.I c.Event.target)) components
+      in
+      let predicted =
+        List.map (fun c -> (c.Event.comp, Event.I c.Event.predicted)) components
+      in
+      let verdicts =
+        List.map
+          (fun c -> (c.Event.comp, Event.S (Event.verdict_name c.Event.verdict)))
+          components
+      in
+      [
+        ev 'C' "broker:targets" ~args:targets;
+        ev 'C' "broker:predicted" ~args:predicted;
+        ev 'i' "broker:tick"
+          ~args:
+            (( "pressure", Event.B pressure )
+            :: ("budget", Event.I budget)
+            :: verdicts);
+      ]
+  | Event.Grant { phase; bytes } -> (
+      match phase with
+      | Event.Wait ->
+          [ ev 'B' "grant:wait" ~args:[ ("bytes", Event.I bytes) ] ]
+      | Event.Acquired ->
+          [
+            ev 'E' "grant:wait";
+            ev 'B' "grant:hold" ~args:[ ("bytes", Event.I bytes) ];
+          ]
+      | Event.Timeout ->
+          [ ev 'E' "grant:wait" ~args:[ ("outcome", Event.S "timeout") ] ]
+      | Event.Release -> [ ev 'E' "grant:hold" ])
+  | Event.Exec_begin -> [ ev 'B' "exec" ]
+  | Event.Exec_end { granted; ideal; spilled; pages } ->
+      [
+        ev 'E' "exec"
+          ~args:
+            [
+              ("granted", Event.I granted);
+              ("ideal", Event.I ideal);
+              ("spilled", Event.B spilled);
+              ("pages", Event.I pages);
+            ];
+      ]
+  | Event.Spill { bytes } ->
+      [ ev 'i' "spill" ~args:[ ("bytes", Event.I bytes) ] ]
+  | Event.Retry { attempt; pause_s; kind } ->
+      [
+        ev 'i' "retry"
+          ~args:
+            [
+              ("attempt", Event.I attempt);
+              ("pause_s", Event.F pause_s);
+              ("kind", Event.S kind);
+            ];
+      ]
+  | Event.Shed -> [ ev 'i' "shed" ]
+  | Event.Degrade { rung } ->
+      [ ev 'i' "degrade" ~args:[ ("rung", Event.S rung) ] ]
+  | Event.Cache_hit -> [ ev 'i' "cache_hit" ]
+  | Event.Query_error { kind } ->
+      [ ev 'i' "query_error" ~args:[ ("kind", Event.S kind) ] ]
+  | Event.Mem { clerk; used } ->
+      [ ev 'C' ("mem:" ^ clerk) ~args:[ ("used", Event.I used) ] ]
+  | Event.Oom { clerk; requested; free } ->
+      [
+        ev 'i' "oom"
+          ~args:
+            [
+              ("clerk", Event.S clerk);
+              ("requested", Event.I requested);
+              ("free", Event.I free);
+            ];
+      ]
+  | Event.Reclaim { wanted; freed } ->
+      [
+        ev 'i' "reclaim"
+          ~args:[ ("wanted", Event.I wanted); ("freed", Event.I freed) ];
+      ]
+  | Event.Custom { cat; name; args } -> [ ev 'i' name ~cat ~args ]
+
+let chrome_event fmt ~first e =
+  if not first then Format.fprintf fmt ",@\n";
+  let scope = if e.ph = 'i' then ",\"s\":\"t\"" else "" in
+  let args =
+    if e.args = [] then "" else Printf.sprintf ",\"args\":{%s}" (args_json e.args)
+  in
+  Format.fprintf fmt
+    "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"ts\":%.1f,\"pid\":1,\"tid\":%d%s%s}"
+    (json_escape e.name) (json_escape e.cat) e.ph e.ts e.tid scope args
+
+let chrome fmt records =
+  let intern = Hashtbl.create 64 in
+  Format.fprintf fmt "{\"traceEvents\":[@\n";
+  let first = ref true in
+  (* Name tid 0 up front; query tids are named after the event pass, once
+     the interning table is complete. *)
+  chrome_event fmt ~first:true
+    {
+      ph = 'M';
+      name = "thread_name";
+      cat = "__metadata";
+      ts = 0.;
+      tid = 0;
+      args = [ ("name", Event.S "server") ];
+    };
+  first := false;
+  Array.iter
+    (fun r ->
+      List.iter
+        (fun e ->
+          chrome_event fmt ~first:!first e;
+          first := false)
+        (lower intern r))
+    records;
+  Hashtbl.iter
+    (fun qid tid ->
+      chrome_event fmt ~first:false
+        {
+          ph = 'M';
+          name = "thread_name";
+          cat = "__metadata";
+          ts = 0.;
+          tid;
+          args = [ ("name", Event.S qid) ];
+        })
+    intern;
+  Format.fprintf fmt "@\n],\"displayTimeUnit\":\"ms\"}@."
+
+let with_file path f =
+  let oc = open_out path in
+  let fmt = Format.formatter_of_out_channel oc in
+  Fun.protect
+    ~finally:(fun () ->
+      Format.pp_print_flush fmt ();
+      close_out oc)
+    (fun () -> f fmt)
+
+let chrome_to_file path records = with_file path (fun fmt -> chrome fmt records)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fields_of_event = function
+  | Event.Compile_begin -> []
+  | Event.Compile_alloc { bytes; usage } ->
+      [ ("bytes", Event.I bytes); ("usage", Event.I usage) ]
+  | Event.Compile_end { peak } -> [ ("peak", Event.I peak) ]
+  | Event.Gateway { gate; priority; _ } ->
+      [ ("gate", Event.S gate); ("priority", Event.I priority) ]
+  | Event.Broker_tick { pressure; budget; components } ->
+      [
+        ("pressure", Event.B pressure);
+        ("budget", Event.I budget);
+        ("ncomponents", Event.I (List.length components));
+      ]
+  | Event.Grant { bytes; _ } -> [ ("bytes", Event.I bytes) ]
+  | Event.Exec_begin -> []
+  | Event.Exec_end { granted; ideal; spilled; pages } ->
+      [
+        ("granted", Event.I granted);
+        ("ideal", Event.I ideal);
+        ("spilled", Event.B spilled);
+        ("pages", Event.I pages);
+      ]
+  | Event.Spill { bytes } -> [ ("bytes", Event.I bytes) ]
+  | Event.Retry { attempt; pause_s; kind } ->
+      [
+        ("attempt", Event.I attempt);
+        ("pause_s", Event.F pause_s);
+        ("kind", Event.S kind);
+      ]
+  | Event.Shed -> []
+  | Event.Degrade { rung } -> [ ("rung", Event.S rung) ]
+  | Event.Cache_hit -> []
+  | Event.Query_error { kind } -> [ ("kind", Event.S kind) ]
+  | Event.Mem { clerk; used } ->
+      [ ("clerk", Event.S clerk); ("used", Event.I used) ]
+  | Event.Oom { clerk; requested; free } ->
+      [
+        ("clerk", Event.S clerk);
+        ("requested", Event.I requested);
+        ("free", Event.I free);
+      ]
+  | Event.Reclaim { wanted; freed } ->
+      [ ("wanted", Event.I wanted); ("freed", Event.I freed) ]
+  | Event.Custom { args; _ } -> args
+
+let jsonl fmt records =
+  Array.iter
+    (fun (r : Trace.record) ->
+      let base =
+        [
+          ("t", Event.F r.time);
+          ("qid", Event.S r.qid);
+          ("cat", Event.S (Event.category r.event));
+          ("name", Event.S (Event.name r.event));
+        ]
+      in
+      Format.fprintf fmt "{%s}@\n" (args_json (base @ fields_of_event r.event)))
+    records;
+  Format.pp_print_flush fmt ()
+
+let jsonl_to_file path records = with_file path (fun fmt -> jsonl fmt records)

@@ -1,0 +1,25 @@
+(** Trace exporters.
+
+    {!chrome} lowers the typed event stream into Chrome trace-event JSON
+    (the [{"traceEvents": [...]}] object format) loadable in
+    [about:tracing] and Perfetto: compile, gateway-wait/hold, grant and
+    exec phases become B/E duration spans on one thread per query id,
+    per-query memory usage and broker targets become [C] counter tracks,
+    and one-shot decisions (spill, retry, shed, degrade, OOM) become
+    instant events. {!jsonl} is the lossless line-per-record form meant
+    for offline analysis. *)
+
+(** Minimal JSON string escaping per RFC 8259: backslash, quote, and
+    control characters (C0) are escaped; everything else passes through. *)
+val json_escape : string -> string
+
+(** [chrome fmt records] writes a complete Chrome trace JSON document. *)
+val chrome : Format.formatter -> Trace.record array -> unit
+
+val chrome_to_file : string -> Trace.record array -> unit
+
+(** [jsonl fmt records] writes one JSON object per line:
+    [{"t":..,"qid":..,"cat":..,"name":..,...event fields}]. *)
+val jsonl : Format.formatter -> Trace.record array -> unit
+
+val jsonl_to_file : string -> Trace.record array -> unit

@@ -1,0 +1,50 @@
+type record = { time : float; qid : string; event : Event.t }
+
+type ring = {
+  buf : record option array;
+  mutable head : int; (* next write position *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+type t = Null | Ring of ring
+
+let null = Null
+let default_capacity = 1 lsl 18
+
+let create ?(capacity = default_capacity) () =
+  let capacity = max 1 capacity in
+  Ring { buf = Array.make capacity None; head = 0; len = 0; dropped = 0 }
+
+let enabled = function Null -> false | Ring _ -> true
+
+let emit t ~time ~qid event =
+  match t with
+  | Null -> ()
+  | Ring r ->
+      let cap = Array.length r.buf in
+      r.buf.(r.head) <- Some { time; qid; event };
+      r.head <- (r.head + 1) mod cap;
+      if r.len < cap then r.len <- r.len + 1 else r.dropped <- r.dropped + 1
+
+let length = function Null -> 0 | Ring r -> r.len
+let dropped = function Null -> 0 | Ring r -> r.dropped
+
+let records t =
+  match t with
+  | Null -> [||]
+  | Ring r ->
+      let cap = Array.length r.buf in
+      let start = (r.head - r.len + cap) mod cap in
+      Array.init r.len (fun i ->
+          match r.buf.((start + i) mod cap) with
+          | Some rec_ -> rec_
+          | None -> assert false)
+
+let clear = function
+  | Null -> ()
+  | Ring r ->
+      Array.fill r.buf 0 (Array.length r.buf) None;
+      r.head <- 0;
+      r.len <- 0;
+      r.dropped <- 0

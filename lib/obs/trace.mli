@@ -1,0 +1,39 @@
+(** Ring-buffer trace recorder.
+
+    A trace is either the {!null} sink — emission is a single pattern match
+    and branch, so instrumented code pays nothing when tracing is off — or a
+    fixed-capacity ring that keeps the most recent records and counts what
+    it had to drop. Recording never allocates per event beyond the record
+    itself, never consumes randomness and never touches the simulation
+    clock, so enabling a trace cannot perturb a deterministic run.
+
+    Records carry the simulation time as a plain [float]: [obs] sits below
+    every other library and must not depend on [sim]. *)
+
+type record = { time : float; qid : string; event : Event.t }
+
+type t
+
+(** The disabled sink: {!enabled} is [false], {!emit} is a no-op. *)
+val null : t
+
+(** [create ?capacity ()] makes an enabled ring holding the most recent
+    [capacity] records (default [262144]). *)
+val create : ?capacity:int -> unit -> t
+
+(** Emission sites guard with [if Trace.enabled t then Trace.emit t ...] so
+    that argument construction is skipped entirely when tracing is off. *)
+val enabled : t -> bool
+
+val emit : t -> time:float -> qid:string -> Event.t -> unit
+
+(** Number of records currently held (≤ capacity). *)
+val length : t -> int
+
+(** Number of records evicted because the ring was full. *)
+val dropped : t -> int
+
+(** Records oldest-first. Allocates a fresh array. *)
+val records : t -> record array
+
+val clear : t -> unit

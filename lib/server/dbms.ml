@@ -1,5 +1,6 @@
 type t = {
   eng : Sim.Engine.t;
+  trace : Obs.Trace.t;
   cfg : Config.t;
   cat : Optimizer.Catalog.t;
   manager : Dbmem.Manager.t;
@@ -20,8 +21,10 @@ type t = {
          configuration replays the seed byte for byte *)
 }
 
-let create eng cfg cat =
+let create ?(trace = Obs.Trace.null) eng cfg cat =
   let manager = Dbmem.Manager.create ~total:cfg.Config.memory_bytes () in
+  if Obs.Trace.enabled trace then
+    Dbmem.Manager.set_trace manager ~now:(fun () -> Sim.Engine.now eng) trace;
   let pool_clerk = Dbmem.Manager.create_clerk manager "bufpool" in
   let cache_clerk = Dbmem.Manager.create_clerk manager "plancache" in
   let compile_clerk = Dbmem.Manager.create_clerk manager "compile" in
@@ -40,13 +43,13 @@ let create eng cfg cat =
     int_of_float (cfg.Config.workspace_frac *. float_of_int cfg.Config.memory_bytes)
   in
   let grants =
-    Execsim.Grant.create eng manager ~clerk:exec_clerk ~total:workspace
+    Execsim.Grant.create eng manager ~trace ~clerk:exec_clerk ~total:workspace
       ~max_query_frac:cfg.Config.grant_max_query_frac
       ~timeout:cfg.Config.grant_timeout ()
   in
   let cpu = Execsim.Cpu.create eng ~cores:cfg.Config.cpus () in
   let gov =
-    Qcore.Compile_gov.create eng manager ~clerk:compile_clerk
+    Qcore.Compile_gov.create eng manager ~trace ~clerk:compile_clerk
       ~cpus:cfg.Config.cpus ~config:cfg.Config.throttle
       ~enabled:cfg.Config.throttle_enabled ()
   in
@@ -56,7 +59,7 @@ let create eng cfg cat =
   Dbmem.Manager.register_donor manager ~clerk:pool_clerk ~priority:1
     ~shrink:(fun n -> Bufpool.Pool.shrink pool n);
   (* Broker components and their reactions to verdicts. *)
-  let broker = Qcore.Broker.create eng manager cfg.Config.broker in
+  let broker = Qcore.Broker.create ~trace eng manager cfg.Config.broker in
   let _pool_comp =
     Qcore.Broker.register broker ~name:"bufpool" ~clerk:pool_clerk ~weight:1.5
       ~min_bytes:cfg.Config.min_pool_bytes
@@ -130,6 +133,7 @@ let create eng cfg cat =
   in
   {
     eng;
+    trace;
     cfg;
     cat;
     manager;
@@ -156,7 +160,12 @@ let create eng cfg cat =
 
 let start t =
   Qcore.Broker.start t.broker;
-  Metrics.watch_memory t.metrics ~interval:t.cfg.Config.metrics_interval t.clerk_list
+  Metrics.watch_memory ~trace:t.trace t.metrics
+    ~interval:t.cfg.Config.metrics_interval t.clerk_list
+
+let emit t ~qid ev =
+  if Obs.Trace.enabled t.trace then
+    Obs.Trace.emit t.trace ~time:(Sim.Engine.now t.eng) ~qid ev
 
 (* Governed compilation: the Cascades environment reports allocations to
    the governor (which may block at gateways or fail), burns CPU on the
@@ -165,7 +174,9 @@ let start t =
    compilation past it is cancelled at its next allocation rather than
    holding gateways for work that can no longer matter. *)
 let compile t ?deadline q =
-  let session = Qcore.Compile_gov.begin_compile t.gov in
+  let session =
+    Qcore.Compile_gov.begin_compile ~qid:q.Optimizer.Query.qid t.gov
+  in
   let check_deadline () =
     match deadline with
     | Some d when Sim.Engine.now t.eng > d ->
@@ -209,7 +220,10 @@ let compile t ?deadline q =
    gateway threshold and cannot meaningfully contribute to compile-memory
    pressure. *)
 let compile_degraded t q =
-  let session = Qcore.Compile_gov.begin_compile t.gov in
+  emit t ~qid:q.Optimizer.Query.qid (Obs.Event.Degrade { rung = "greedy" });
+  let session =
+    Qcore.Compile_gov.begin_compile ~qid:q.Optimizer.Query.qid t.gov
+  in
   let started = Sim.Engine.now t.eng in
   Fun.protect
     ~finally:(fun () ->
@@ -268,6 +282,7 @@ let plan_for t ~degraded ~deadline q =
   match Plancache.Cache.lookup t.cache q.Optimizer.Query.qid with
   | Some plan ->
       Metrics.record_cache_hit t.metrics;
+      emit t ~qid:q.Optimizer.Query.qid Obs.Event.Cache_hit;
       Ok (plan, 0., false)
   | None when degraded -> (
       match compile_degraded t q with
@@ -297,8 +312,11 @@ let submit t q =
     | Some d -> Sim.Engine.now t.eng > d
     | None -> false
   in
+  let qid = q.Optimizer.Query.qid in
   let fail kind =
     Metrics.record_error t.metrics kind;
+    emit t ~qid
+      (Obs.Event.Query_error { kind = Metrics.error_kind_name kind });
     Error kind
   in
   (* Retry ladder: [attempt] is 1-based; [degraded] sticks once entered.
@@ -334,7 +352,8 @@ let submit t q =
             Ok ()
           in
           match
-            Execsim.Runner.run t.exec_resources t.cfg.Config.exec_config plan
+            Execsim.Runner.run ~qid t.exec_resources t.cfg.Config.exec_config
+              plan
           with
           | Ok outcome -> finish ~reduced:false outcome
           | Error `Grant_timeout -> retry n ~degraded Metrics.Grant_timeout
@@ -347,7 +366,7 @@ let submit t q =
               match
                 Execsim.Runner.run
                   ~grant_cap:(Execsim.Grant.min_grant t.grants)
-                  t.exec_resources t.cfg.Config.exec_config plan
+                  ~qid t.exec_resources t.cfg.Config.exec_config plan
               with
               | Ok outcome -> finish ~reduced:true outcome
               | Error `Grant_timeout -> retry n ~degraded Metrics.Grant_timeout
@@ -364,6 +383,10 @@ let submit t q =
         then fail kind
         else begin
           Metrics.record_retry t.metrics;
+          emit t ~qid
+            (Obs.Event.Retry
+               { attempt = n; pause_s = pause;
+                 kind = Metrics.error_kind_name kind });
           (* Under broker pressure the failure is storm-induced: park, and
              cut the backoff short (after a minimum base pause) as soon as
              the broker calms, so queries stranded behind a pressure spike
@@ -394,7 +417,10 @@ let submit t q =
         end
     | _ -> fail kind
   in
-  if should_shed t then fail Metrics.Admission_shed
+  if should_shed t then begin
+    emit t ~qid Obs.Event.Shed;
+    fail Metrics.Admission_shed
+  end
   else attempt 1 ~degraded:false
 
 let submit_catch t q =
@@ -446,6 +472,7 @@ let install_faults ?spawn_burst t =
            ~hooks specs)
 
 let engine t = t.eng
+let trace t = t.trace
 let config t = t.cfg
 let metrics t = t.metrics
 let manager t = t.manager

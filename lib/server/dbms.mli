@@ -9,7 +9,13 @@
 
 type t
 
-val create : Sim.Engine.t -> Config.t -> Optimizer.Catalog.t -> t
+(** [create ?trace eng cfg cat]. [trace], when an enabled sink, is threaded
+    through every subsystem: the broker, the gateway monitors, the compile
+    governor, the grant queue, the runner, the memory manager and the
+    metrics sampler all record into it. Tracing never consumes randomness
+    or simulated time, so a traced run is event-for-event identical to an
+    untraced one. *)
+val create : ?trace:Obs.Trace.t -> Sim.Engine.t -> Config.t -> Optimizer.Catalog.t -> t
 
 (** Start the broker ticks and memory sampling. *)
 val start : t -> unit
@@ -38,6 +44,10 @@ val install_faults :
 (** {1 Component access (metrics, tests, benches)} *)
 
 val engine : t -> Sim.Engine.t
+
+(** The sink passed to {!create} ({!Obs.Trace.null} by default). *)
+val trace : t -> Obs.Trace.t
+
 val config : t -> Config.t
 val metrics : t -> Metrics.t
 val manager : t -> Dbmem.Manager.t

@@ -31,8 +31,8 @@ type result = {
   memory_series : (string * Sim.Series.t) list;
 }
 
-let run ?config ?client_config ?catalog ?templates ?seed ~clients ~warmup
-    ~measure ~slice () =
+let run ?config ?client_config ?catalog ?templates ?seed ?trace ~clients
+    ~warmup ~measure ~slice () =
   let cfg = match config with Some c -> c | None -> Config.default () in
   let cfg = match seed with Some s -> { cfg with Config.seed = s } | None -> cfg in
   let client_config =
@@ -45,7 +45,7 @@ let run ?config ?client_config ?catalog ?templates ?seed ~clients ~warmup
     match templates with Some t -> t | None -> Workload.Sales.templates ()
   in
   let eng = Sim.Engine.create ~seed:cfg.Config.seed () in
-  let dbms = Dbms.create eng cfg cat in
+  let dbms = Dbms.create ?trace eng cfg cat in
   Dbms.start dbms;
   let stats = Workload.Client.make_stats () in
   let ids = ref 0 in

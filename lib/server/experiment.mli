@@ -47,6 +47,7 @@ val run :
   ?catalog:Optimizer.Catalog.t ->
   ?templates:Workload.Template.t list ->
   ?seed:int ->
+  ?trace:Obs.Trace.t ->
   clients:int ->
   warmup:float ->
   measure:float ->

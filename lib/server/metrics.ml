@@ -63,7 +63,7 @@ let record_cache_hit t = t.cache_hits <- t.cache_hits + 1
 let record_retry t = t.retries <- t.retries + 1
 let record_degraded t = t.degraded <- t.degraded + 1
 
-let watch_memory t ~interval clerks =
+let watch_memory ?(trace = Obs.Trace.null) t ~interval clerks =
   let series =
     List.map (fun (name, _) -> (name, Sim.Series.create ~name ())) clerks
   in
@@ -74,8 +74,11 @@ let watch_memory t ~interval clerks =
          List.iter
            (fun (name, clerk) ->
              let s = List.assoc name series in
-             Sim.Series.add s ~time:now
-               (float_of_int (Dbmem.Manager.clerk_used clerk)))
+             let used = Dbmem.Manager.clerk_used clerk in
+             if Obs.Trace.enabled trace then
+               Obs.Trace.emit trace ~time:now ~qid:""
+                 (Obs.Event.Mem { clerk = name; used });
+             Sim.Series.add s ~time:now (float_of_int used))
            clerks))
 
 let completions t = t.completions

@@ -36,9 +36,14 @@ val record_retry : t -> unit
     fallback plan instead of full search). *)
 val record_degraded : t -> unit
 
-(** Start sampling the given clerks every [interval] seconds. *)
+(** Start sampling the given clerks every [interval] seconds. Each sample
+    is also recorded into [trace] (as an {!Obs.Event.Mem}) when given. *)
 val watch_memory :
-  t -> interval:float -> (string * Dbmem.Manager.clerk) list -> unit
+  ?trace:Obs.Trace.t ->
+  t ->
+  interval:float ->
+  (string * Dbmem.Manager.clerk) list ->
+  unit
 
 (** {1 Reading} *)
 

@@ -74,7 +74,7 @@ let make_grant ?(total = mib 100) ?(max_query_frac = 0.25) ?(min_grant = mib 1)
 let test_grant_full_when_it_fits () =
   let eng, _, clerk, g = make_grant () in
   Sim.Engine.spawn eng (fun () ->
-      match Grant.acquire g ~ideal:(mib 10) with
+      match Grant.acquire g ~ideal:(mib 10) () with
       | Ok n ->
           Alcotest.(check int) "full ideal" (mib 10) n;
           Alcotest.(check int) "clerk charged" (mib 10) (Dbmem.Manager.clerk_used clerk);
@@ -86,7 +86,7 @@ let test_grant_full_when_it_fits () =
 let test_grant_trims_large_requests () =
   let eng, _, _, g = make_grant ~total:(mib 100) ~max_query_frac:0.25 () in
   Sim.Engine.spawn eng (fun () ->
-      match Grant.acquire g ~ideal:(mib 80) with
+      match Grant.acquire g ~ideal:(mib 80) () with
       | Ok n ->
           Alcotest.(check int) "trimmed to 25%" (mib 25) n;
           Grant.release g n
@@ -96,7 +96,7 @@ let test_grant_trims_large_requests () =
 let test_grant_min_grant_floor () =
   let eng, _, _, g = make_grant ~min_grant:(mib 5) ~max_query_frac:0.01 () in
   Sim.Engine.spawn eng (fun () ->
-      match Grant.acquire g ~ideal:(mib 50) with
+      match Grant.acquire g ~ideal:(mib 50) () with
       | Ok n ->
           (* Cap would be 1 MiB but the floor is 5 MiB. *)
           Alcotest.(check int) "floored" (mib 5) n;
@@ -107,7 +107,7 @@ let test_grant_min_grant_floor () =
 let test_grant_small_request_untouched () =
   let eng, _, _, g = make_grant ~min_grant:(mib 5) () in
   Sim.Engine.spawn eng (fun () ->
-      match Grant.acquire g ~ideal:(mib 2) with
+      match Grant.acquire g ~ideal:(mib 2) () with
       | Ok n ->
           Alcotest.(check int) "never more than ideal" (mib 2) n;
           Grant.release g n
@@ -118,13 +118,13 @@ let test_grant_queueing_and_timeout () =
   let eng, _, _, g = make_grant ~total:(mib 100) ~max_query_frac:1.0 ~timeout:10. () in
   let second = ref None in
   Sim.Engine.spawn eng (fun () ->
-      match Grant.acquire g ~ideal:(mib 100) with
+      match Grant.acquire g ~ideal:(mib 100) () with
       | Ok n ->
           Sim.Engine.sleep 100.;
           Grant.release g n
       | Error _ -> Alcotest.fail "first must succeed");
   Sim.Engine.spawn eng ~delay:1.0 (fun () ->
-      second := Some (Grant.acquire g ~ideal:(mib 50)));
+      second := Some (Grant.acquire g ~ideal:(mib 50) ()));
   Sim.Engine.run_all eng;
   (match !second with
   | Some (Error `Timeout) -> ()
@@ -135,7 +135,7 @@ let test_grant_fifo () =
   let eng, _, _, g = make_grant ~total:(mib 100) ~max_query_frac:1.0 ~timeout:1000. () in
   let order = ref [] in
   Sim.Engine.spawn eng (fun () ->
-      match Grant.acquire g ~ideal:(mib 100) with
+      match Grant.acquire g ~ideal:(mib 100) () with
       | Ok n ->
           Sim.Engine.sleep 10.;
           Grant.release g n
@@ -143,7 +143,7 @@ let test_grant_fifo () =
   List.iter
     (fun (name, delay) ->
       Sim.Engine.spawn eng ~delay (fun () ->
-          match Grant.acquire g ~ideal:(mib 40) with
+          match Grant.acquire g ~ideal:(mib 40) () with
           | Ok n ->
               order := name :: !order;
               Sim.Engine.sleep 5.;
@@ -308,7 +308,7 @@ let test_runner_grant_timeout_surfaces () =
      four of them saturate the semaphore). *)
   for _ = 1 to 4 do
     Sim.Engine.spawn eng (fun () ->
-        match Grant.acquire resources.Runner.grants ~ideal:(mib 64) with
+        match Grant.acquire resources.Runner.grants ~ideal:(mib 64) () with
         | Ok _ -> Sim.Engine.sleep 1e9
         | Error _ -> ())
   done;

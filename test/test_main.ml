@@ -12,6 +12,8 @@ let () =
       ("execsim", Test_execsim.suite);
       ("workload", Test_workload.suite);
       ("server", Test_server.suite);
+      ("obs", Test_obs.suite);
+      ("trace", Test_trace.suite);
       ("fuzz", Test_fuzz.suite);
       ("chaos", Test_chaos.suite);
       ("misc", Test_misc.suite);

@@ -56,6 +56,46 @@ let test_trend_empty () =
   Alcotest.(check (option (float 1e-9))) "predict" None (Trend.predict t ~horizon:1.);
   Alcotest.(check (option (float 1e-9))) "mean" None (Trend.mean t)
 
+let test_trend_constant_series () =
+  (* A flat signal must read as exactly zero slope (no drift from the
+     least-squares arithmetic) and predict itself at any horizon. *)
+  let t = Trend.create ~window:6 () in
+  for i = 0 to 9 do
+    Trend.observe t ~time:(float_of_int i) 123.
+  done;
+  Alcotest.(check (option (float 1e-9))) "slope" (Some 0.) (Trend.slope t);
+  Alcotest.(check (option (float 1e-9))) "predict near" (Some 123.)
+    (Trend.predict t ~horizon:1.);
+  Alcotest.(check (option (float 1e-9))) "predict far" (Some 123.)
+    (Trend.predict t ~horizon:1000.);
+  Alcotest.(check (option (float 1e-9))) "mean" (Some 123.) (Trend.mean t)
+
+let test_trend_decreasing_series () =
+  (* Freeing memory: slope is negative, short-horizon prediction follows
+     the line down, long-horizon prediction clamps at zero rather than
+     going negative. *)
+  let t = Trend.create ~window:8 () in
+  for i = 0 to 7 do
+    Trend.observe t ~time:(float_of_int i) (100. -. (10. *. float_of_int i))
+  done;
+  (match Trend.slope t with
+  | Some s -> Alcotest.(check (float 1e-6)) "slope" (-10.) s
+  | None -> Alcotest.fail "no slope");
+  Alcotest.(check (option (float 1e-6))) "short horizon" (Some 20.)
+    (Trend.predict t ~horizon:1.);
+  Alcotest.(check (option (float 1e-6))) "long horizon clamps" (Some 0.)
+    (Trend.predict t ~horizon:50.)
+
+let test_trend_two_samples_minimum () =
+  (* Exactly two samples is the smallest window that yields a slope; one
+     fewer must yield none (covered by [single sample] too, but pinned
+     here at the boundary). *)
+  let t = Trend.create ~window:2 () in
+  Trend.observe t ~time:0. 10.;
+  Alcotest.(check (option (float 1e-9))) "1 sample: none" None (Trend.slope t);
+  Trend.observe t ~time:2. 20.;
+  Alcotest.(check (option (float 1e-9))) "2 samples" (Some 5.) (Trend.slope t)
+
 let test_trend_backwards_time_rejected () =
   let t = Trend.create ~window:4 () in
   Trend.observe t ~time:5. 1.;
@@ -261,7 +301,7 @@ let test_dynamic_threshold_formula () =
 
 let test_monitor_blocks_over_slots () =
   let eng = Sim.Engine.create () in
-  let m = Monitor.create eng ~name:"g" ~slots:2 ~timeout:100. in
+  let m = Monitor.create eng ~name:"g" ~slots:2 ~timeout:100. () in
   let acquired = ref 0 in
   for _ = 1 to 3 do
     Sim.Engine.spawn eng (fun () ->
@@ -278,7 +318,7 @@ let test_monitor_blocks_over_slots () =
 
 let test_monitor_timeout () =
   let eng = Sim.Engine.create () in
-  let m = Monitor.create eng ~name:"g" ~slots:1 ~timeout:5. in
+  let m = Monitor.create eng ~name:"g" ~slots:1 ~timeout:5. () in
   let results = ref [] in
   Sim.Engine.spawn eng (fun () ->
       ignore (Monitor.acquire m ());
@@ -526,7 +566,7 @@ let test_broker_hold_rate_verdict () =
 
 let test_monitor_wait_stats () =
   let eng = Sim.Engine.create () in
-  let m = Monitor.create eng ~name:"g" ~slots:1 ~timeout:100. in
+  let m = Monitor.create eng ~name:"g" ~slots:1 ~timeout:100. () in
   Sim.Engine.spawn eng (fun () ->
       ignore (Monitor.acquire m ());
       Sim.Engine.sleep 7.;
@@ -690,6 +730,9 @@ let suite =
     ("trend prediction clamped", `Quick, test_trend_prediction_clamped);
     ("trend single sample", `Quick, test_trend_single_sample);
     ("trend empty", `Quick, test_trend_empty);
+    ("trend constant series", `Quick, test_trend_constant_series);
+    ("trend decreasing series", `Quick, test_trend_decreasing_series);
+    ("trend two samples minimum", `Quick, test_trend_two_samples_minimum);
     ("trend backwards time rejected", `Quick, test_trend_backwards_time_rejected);
     ("broker no pressure no action", `Quick, test_broker_no_pressure_no_action);
     ("broker detects pressure from trend", `Quick, test_broker_detects_pressure_from_trend);
