@@ -436,6 +436,86 @@ let trace_cmd =
       const action $ scenario_arg $ out_arg $ trace_clients_arg
       $ trace_measure_arg $ seed_arg)
 
+let health_cmd =
+  let clients_arg =
+    Arg.(value & opt int 35 & info [ "clients"; "c" ] ~doc:"Number of concurrent clients.")
+  in
+  let warmup_arg =
+    Arg.(value & opt float 60. & info [ "warmup" ] ~doc:"Warm-up seconds (excluded from the report).")
+  in
+  let measure_arg =
+    Arg.(value & opt float 1000. & info [ "measure" ] ~doc:"Measured window, seconds.")
+  in
+  let drain_arg =
+    Arg.(
+      value & opt float 900.
+      & info [ "drain" ]
+          ~doc:"Extra seconds after clients stop, so in-flight queries can \
+                finish; anything still watched after the drain is stuck.")
+  in
+  let resilience_arg =
+    Arg.(
+      value & opt bool true
+      & info [ "resilience" ]
+          ~doc:"Keep the retry/degrade/shed ladder on underneath the \
+                supervision layer (false = supervision alone).")
+  in
+  let glitch_arg =
+    Arg.(
+      value & opt float 0.15
+      & info [ "glitch" ]
+          ~doc:"Allocation-failure probability on the compile clerk during \
+                the spike window (0 = ballast only).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Also write the health report to FILE (CI artifact).")
+  in
+  let action clients warmup measure drain resilience glitch seed out =
+    let config =
+      if resilience then Server.Config.supervised ()
+      else
+        {
+          (Server.Config.default ()) with
+          Server.Config.supervision = Health.Supervise.default;
+        }
+    in
+    let faults = Server.Scenario.chaos_faults ~glitch () in
+    let o =
+      Server.Scenario.run_chaos ~config ~faults ~seed ~clients ~warmup
+        ~measure ~drain ()
+    in
+    Printf.printf "Chaos schedule (%d clients, seed %d, %s):\n" clients seed
+      (if resilience then "supervision + resilience"
+       else "supervision only");
+    List.iter (fun f -> Printf.printf "  %s\n" (Faultsim.Fault.label f)) o.Server.Scenario.faults;
+    print_newline ();
+    Format.printf "%a@." Health.Report.pp o.Server.Scenario.report;
+    let r = o.Server.Scenario.report in
+    Printf.printf "\n  stuck queries: %d%s\n" (Health.Report.stuck r)
+      (if Health.Report.stuck r = 0 then "" else "  <-- SUPERVISION FAILURE");
+    (match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        let ppf = Format.formatter_of_out_channel oc in
+        Format.fprintf ppf "%a@." Health.Report.pp r;
+        close_out oc;
+        Printf.printf "wrote %s\n" path);
+    if Health.Report.stuck r > 0 then exit 3
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Run the canonical chaos schedule under the supervision layer and \
+          print the health report with the error-budget table.")
+    Term.(
+      const action $ clients_arg $ warmup_arg $ measure_arg $ drain_arg
+      $ resilience_arg $ glitch_arg $ seed_arg $ out_arg)
+
 let info_cmd =
   let action () =
     let cfg = Server.Config.default () in
@@ -445,7 +525,45 @@ let info_cmd =
   Cmd.v (Cmd.info "info" ~doc:"Print the server configuration and SALES catalog.")
     Term.(const action $ const ())
 
+(* Condense cmdliner's multi-line complaint (message + usage dump + help
+   hint) into one structured stderr line, so scripts and CI logs get a
+   single greppable "dbsim: error: ..." instead of a wrapped paragraph. *)
+let one_line_error raw =
+  let lines = String.split_on_char '\n' raw in
+  let is_noise l =
+    let l = String.trim l in
+    String.length l = 0
+    || (String.length l >= 6 && String.sub l 0 6 = "Usage:")
+    || (String.length l >= 4 && String.sub l 0 4 = "Try ")
+  in
+  let msg =
+    List.filter (fun l -> not (is_noise l)) lines
+    |> List.map String.trim |> String.concat " "
+  in
+  let msg =
+    let p = "dbsim: " in
+    if
+      String.length msg >= String.length p
+      && String.sub msg 0 (String.length p) = p
+    then String.sub msg (String.length p) (String.length msg - String.length p)
+    else msg
+  in
+  Printf.sprintf "dbsim: error: %s (try 'dbsim --help')" msg
+
 let () =
   setup_logs (Some Logs.Warning);
   let doc = "Simulated DBMS reproducing CIDR'07 query-compilation throttling" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "dbsim" ~doc) [ run_cmd; compare_cmd; sweep_cmd; chaos_cmd; trace_cmd; info_cmd; verbose_cmd; sql_cmd ]))
+  let group =
+    Cmd.group (Cmd.info "dbsim" ~doc)
+      [ run_cmd; compare_cmd; sweep_cmd; chaos_cmd; health_cmd; trace_cmd;
+        info_cmd; verbose_cmd; sql_cmd ]
+  in
+  let errbuf = Buffer.create 256 in
+  let err = Format.formatter_of_buffer errbuf in
+  let code = Cmd.eval ~err group in
+  Format.pp_print_flush err ();
+  if Buffer.length errbuf > 0 then
+    if code = Cmd.Exit.cli_error then
+      prerr_endline (one_line_error (Buffer.contents errbuf))
+    else prerr_string (Buffer.contents errbuf);
+  exit code

@@ -38,7 +38,7 @@ let () =
         match Server.Dbms.submit dbms q with
         | Ok () -> latencies := (Sim.Engine.now eng -. t0) :: !latencies
         | Error e ->
-            Printf.printf "diagnostic FAILED: %s\n" (Server.Metrics.error_kind_name e)
+            Printf.printf "diagnostic FAILED: %s\n" (Health.Error.to_string e)
       done);
   Sim.Engine.run eng ~until:1200.;
   let gov = Server.Dbms.governor dbms in

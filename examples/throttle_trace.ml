@@ -51,7 +51,7 @@ let () =
              | Ok () -> ()
              | Error e ->
                  log "%s ABORTED: %s" name
-                   (Format.asprintf "%a" Qcore.Compile_gov.pp_error e);
+                   (Health.Error.to_string e);
                  aborted := true;
                  raise Exit);
              let after = Qcore.Compile_gov.level session in

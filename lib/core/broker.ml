@@ -13,6 +13,7 @@ type config = {
   window : int;
   reserved_fraction : float;
   shrink_slack : float;
+  insist_after : int;
 }
 
 let default_config =
@@ -22,6 +23,7 @@ let default_config =
     window = 10;
     reserved_fraction = 0.05;
     shrink_slack = 0.02;
+    insist_after = 0;
   }
 
 type component = {
@@ -31,9 +33,12 @@ type component = {
   min_bytes : int;
   demand : (unit -> int) option;
   notify : (notification -> unit) option;
+  reclaim : (int -> int) option;
   trend : Trend.t;
   mutable ctarget : int;
   mutable last : notification option;
+  mutable over_ticks : int;
+  mutable last_used : int;
 }
 
 type t = {
@@ -45,6 +50,7 @@ type t = {
   mutable pressure : bool;
   mutable ticks : int;
   mutable timer : Sim.Engine.handle option;
+  mutable forced_reclaims : int;
 }
 
 let create ?(trace = Obs.Trace.null) eng manager config =
@@ -60,6 +66,7 @@ let create ?(trace = Obs.Trace.null) eng manager config =
     pressure = false;
     ticks = 0;
     timer = None;
+    forced_reclaims = 0;
   }
 
 let brokered_bytes t =
@@ -69,7 +76,8 @@ let brokered_bytes t =
 
 let components t = List.rev t.comps_rev
 
-let register t ~name ~clerk ?(weight = 1.) ?(min_bytes = 0) ?demand ?notify () =
+let register t ~name ~clerk ?(weight = 1.) ?(min_bytes = 0) ?demand ?notify
+    ?reclaim () =
   if weight <= 0. then invalid_arg "Broker.register: weight must be > 0";
   let c =
     {
@@ -79,9 +87,12 @@ let register t ~name ~clerk ?(weight = 1.) ?(min_bytes = 0) ?demand ?notify () =
       min_bytes;
       demand;
       notify;
+      reclaim;
       trend = Trend.create ~window:t.config.window ();
       ctarget = 0;
       last = None;
+      over_ticks = 0;
+      last_used = 0;
     }
   in
   t.comps_rev <- c :: t.comps_rev;
@@ -180,7 +191,36 @@ let tick t =
             :: !samples_rev;
         let n = { verdict; target; predicted; pressure } in
         c.last <- Some n;
-        match c.notify with None -> () | Some f -> f n)
+        (match c.notify with None -> () | Some f -> f n);
+        (* Shrink compliance: a component that stays above target for
+           [insist_after] consecutive ticks has ignored its notifications,
+           and the broker insists, reclaiming through the component's own
+           hook. Only components that registered a hook can be forced —
+           a hookless consumer (the ballast, a query mid-flight) is
+           outside the broker's writ, exactly like the paper's external
+           memory pressure, and squeezing innocent donors on its behalf
+           would only burn cache hits. *)
+        (match (verdict, c.reclaim) with
+        | Must_shrink, Some reclaim ->
+            (* A component whose usage is falling is complying, just
+               slowly; insistence is for components that ignore the
+               verdict. *)
+            if used < c.last_used then c.over_ticks <- 0
+            else c.over_ticks <- c.over_ticks + 1;
+            if
+              t.config.insist_after > 0
+              && c.over_ticks >= t.config.insist_after
+            then begin
+              c.over_ticks <- 0;
+              let wanted = max 0 (used - target) in
+              let freed = reclaim wanted in
+              t.forced_reclaims <- t.forced_reclaims + 1;
+              if Obs.Trace.enabled t.trace then
+                Obs.Trace.emit t.trace ~time:now ~qid:""
+                  (Obs.Event.Forced_reclaim { comp = c.name; wanted; freed })
+            end
+        | _ -> c.over_ticks <- 0);
+        c.last_used <- used)
       targets;
     if Obs.Trace.enabled t.trace then
       Obs.Trace.emit t.trace ~time:now ~qid:""
@@ -204,6 +244,7 @@ let stop t =
 
 let under_pressure t = t.pressure
 let ticks t = t.ticks
+let forced_reclaims t = t.forced_reclaims
 let component_name c = c.name
 let last_notification c = c.last
 let target c = c.ctarget

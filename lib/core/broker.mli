@@ -33,6 +33,14 @@ type config = {
           structures, thread stacks, ...) *)
   shrink_slack : float;
       (** tolerated overshoot before demanding a shrink, e.g. [0.02] *)
+  insist_after : int;
+      (** shrink-compliance enforcement: a component whose usage stays
+          above target without falling for this many consecutive
+          [Must_shrink] ticks gets a forced reclaim through its [reclaim]
+          hook. Components without a hook (the ballast, external
+          consumers) cannot be forced — they are outside the broker's
+          writ. [0] (the default) disables insistence — notifications
+          stay advisory, preserving pre-supervision behavior. *)
 }
 
 val default_config : config
@@ -49,7 +57,11 @@ val create : ?trace:Obs.Trace.t -> Sim.Engine.t -> Dbmem.Manager.t -> config -> 
     — caches use it to report unmet demand (e.g. resident bytes plus recent
     miss inflow), without which a squeezed cache would trend flat and never
     win its memory back; [notify] is invoked on every tick with the
-    component's current notification. *)
+    component's current notification; [reclaim], when given, is how the
+    broker insists — called with the bytes of overage when the component
+    has ignored [insist_after] consecutive shrink verdicts without its
+    usage falling, returning the bytes actually freed. Components without
+    a hook are never forced. *)
 val register :
   t ->
   name:string ->
@@ -58,6 +70,7 @@ val register :
   ?min_bytes:int ->
   ?demand:(unit -> int) ->
   ?notify:(notification -> unit) ->
+  ?reclaim:(int -> int) ->
   unit ->
   component
 
@@ -79,6 +92,10 @@ val brokered_bytes : t -> int
 val under_pressure : t -> bool
 
 val ticks : t -> int
+
+(** Forced reclaims performed so far (shrink-compliance interventions). *)
+val forced_reclaims : t -> int
+
 val component_name : component -> string
 
 (** Latest notification computed for this component ([None] before the

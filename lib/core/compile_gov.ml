@@ -1,9 +1,3 @@
-type error = Gateway_timeout of string | Out_of_memory
-
-let pp_error ppf = function
-  | Gateway_timeout m -> Format.fprintf ppf "gateway timeout at %s monitor" m
-  | Out_of_memory -> Format.fprintf ppf "out of memory"
-
 type pressure = Calm | Elevated | Critical
 
 let pressure_name = function
@@ -111,7 +105,12 @@ let rec pass_gates s new_usage =
   else begin
     let priority = -(new_usage / (1 lsl 20)) in
     match Monitor.acquire t.gmonitors.(s.held) ~priority ~qid:s.sqid () with
-    | Error `Timeout -> Error (Gateway_timeout (Monitor.name t.gmonitors.(s.held)))
+    | Error `Timeout ->
+        (* Timed out queued for a compilation gateway: SQL Server 8645. *)
+        Error
+          (Health.Error.make
+             ~detail:(Monitor.name t.gmonitors.(s.held))
+             Health.Error.Memory_wait_timeout)
     | Ok () ->
         promote s;
         pass_gates s new_usage
@@ -127,7 +126,11 @@ let alloc s n =
   | Error _ as e -> e
   | Ok () -> (
       match Dbmem.Manager.alloc t.gclerk n with
-      | Error `Out_of_memory -> Error Out_of_memory
+      | Error `Out_of_memory ->
+          (* Physical allocation failed even after donor shrink: 701. *)
+          Error
+            (Health.Error.make ~detail:"compile"
+               Health.Error.Insufficient_memory)
       | Ok () ->
           s.susage <- new_usage;
           if new_usage > s.speak then s.speak <- new_usage;

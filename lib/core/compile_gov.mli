@@ -20,14 +20,6 @@
 
 type t
 
-type error =
-  | Gateway_timeout of string
-      (** blocked too long at the named monitor; the query's transaction is
-          aborted with a timeout error *)
-  | Out_of_memory  (** physical allocation failed even after donor shrink *)
-
-val pp_error : Format.formatter -> error -> unit
-
 (** [create eng manager ?trace ~clerk ~cpus ~config ~enabled ()]. With
     [enabled = false] the governor only does clerk accounting — the
     unthrottled baseline of Figures 3-5. [trace], when enabled, records
@@ -55,8 +47,12 @@ val begin_compile : ?qid:string -> t -> session
 
 (** [alloc s n] reports [n] more bytes of compile memory demand. May block
     the calling process at one or more monitors. On [Error] the compilation
-    must be abandoned: call {!end_compile} to release everything. *)
-val alloc : session -> int -> (unit, error) result
+    must be abandoned: call {!end_compile} to release everything. Errors
+    carry the structured taxonomy: a gateway timeout surfaces as
+    {!Health.Error.Memory_wait_timeout} (8645) with the monitor's name as
+    detail, a failed physical allocation as
+    {!Health.Error.Insufficient_memory} (701). *)
+val alloc : session -> int -> (unit, Health.Error.t) result
 
 (** [free s n] returns [n] bytes early (does not release monitors; real
     optimizers release their arenas only at the end of compilation). *)

@@ -43,7 +43,8 @@ let acquire t ?(qid = "") ~ideal () =
   match Sim.Resource.Sem.acquire t.sem ~timeout:t.timeout ~n () with
   | Sim.Resource.Timed_out ->
       emit t ~qid Obs.Event.Timeout ~bytes:n;
-      Error `Timeout
+      (* Timed out queued for workspace memory: SQL Server 8645. *)
+      Error (Health.Error.make ~detail:"grant" Health.Error.Memory_wait_timeout)
   | Sim.Resource.Acquired -> (
       (* Reserve physically so the broker sees execution memory; donors
          (caches) are shrunk if needed. *)
@@ -54,7 +55,12 @@ let acquire t ?(qid = "") ~ideal () =
       | Error `Out_of_memory ->
           Sim.Resource.Sem.release t.sem ~n;
           emit t ~qid Obs.Event.Timeout ~bytes:n;
-          Error `Out_of_memory)
+          (* The semaphore said yes but physical memory could not be
+             produced — the grant is unavailable under low-memory
+             conditions: SQL Server 8651. *)
+          Error
+            (Health.Error.make ~detail:"exec"
+               Health.Error.Low_memory_condition))
 
 let release t ?(qid = "") n =
   if n > 0 then begin

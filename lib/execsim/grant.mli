@@ -29,9 +29,12 @@ val trace : t -> Obs.Trace.t
 
 (** [acquire t ~ideal ()] blocks until granted. Returns the granted bytes
     ([<= ideal], trimmed to the per-query cap, floored at [min_grant] or
-    [ideal] if smaller). [qid] labels the trace records. *)
+    [ideal] if smaller). [qid] labels the trace records. A wait that
+    exceeds the timeout fails with {!Health.Error.Memory_wait_timeout}
+    (8645); a grant the manager cannot physically produce fails with
+    {!Health.Error.Low_memory_condition} (8651). *)
 val acquire :
-  t -> ?qid:string -> ideal:int -> unit -> (int, [ `Timeout | `Out_of_memory ]) result
+  t -> ?qid:string -> ideal:int -> unit -> (int, Health.Error.t) result
 
 (** [release t n] returns granted bytes ([n] must be what {!acquire}
     returned). *)

@@ -30,8 +30,6 @@ type outcome = {
   spilled : bool;
 }
 
-type error = [ `Grant_timeout | `Out_of_memory ]
-
 let run_scan res config ~cpu_share (s : Optimizer.Plan.scan) =
   let table = Bufpool.Pool.table_id res.pool s.Optimizer.Plan.stable in
   (* Plan page counts are in cost-model pages; the pool caches coarser
@@ -86,8 +84,7 @@ let run ?grant_cap ?(qid = "") res config plan =
      shortfall below [ideal] spills, exactly as a trimmed grant would. *)
   let ask = match grant_cap with Some c -> min ideal (max 1 c) | None -> ideal in
   match Grant.acquire res.grants ~qid ~ideal:ask () with
-  | Error `Timeout -> Error `Grant_timeout
-  | Error `Out_of_memory -> Error `Out_of_memory
+  | Error e -> Error e
   | Ok granted ->
       let finally () = Grant.release res.grants ~qid granted in
       emit Obs.Event.Exec_begin;

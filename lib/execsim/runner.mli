@@ -39,18 +39,18 @@ type outcome = {
   spilled : bool;
 }
 
-type error = [ `Grant_timeout | `Out_of_memory ]
-
 (** [run ?grant_cap res config plan] — must be called from a simulation
     process. The grant is always released, also on error. [grant_cap]
     bounds the bytes requested from the semaphore (degraded, spill-heavy
     execution under memory pressure); spill volume is still measured
     against the plan's ideal. [qid] labels trace records; the trace sink
-    is the one the grant queue was created with ({!Grant.trace}). *)
+    is the one the grant queue was created with ({!Grant.trace}). Errors
+    are the grant queue's: {!Health.Error.Memory_wait_timeout} or
+    {!Health.Error.Low_memory_condition}. *)
 val run :
   ?grant_cap:int ->
   ?qid:string ->
   resources ->
   config ->
   Optimizer.Plan.t ->
-  (outcome, error) result
+  (outcome, Health.Error.t) result

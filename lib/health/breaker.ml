@@ -1,0 +1,127 @@
+type config = { failure_threshold : int; cooldown_s : float }
+
+let default_config = { failure_threshold = 3; cooldown_s = 60.0 }
+
+type state = Closed | Open | Half_open
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+(* Internal per-template cell. [Open] remembers when it tripped so the
+   cooldown can be checked lazily at the next admission — no timer is
+   needed and an idle open breaker costs nothing. *)
+type cell = {
+  mutable cstate : state;
+  mutable failures : int;  (* consecutive hard failures while closed *)
+  mutable opened_at : float;  (* valid when cstate = Open *)
+  mutable probe_out : bool;  (* half-open: the single probe is in flight *)
+}
+
+type t = {
+  eng : Sim.Engine.t;
+  config : config;
+  trace : Obs.Trace.t;
+  cells : (string, cell) Hashtbl.t;
+  mutable opened_total : int;
+  mutable closed_total : int;
+}
+
+let create ?(trace = Obs.Trace.null) eng config =
+  if config.failure_threshold < 1 then
+    invalid_arg "Breaker: failure_threshold must be >= 1";
+  if config.cooldown_s <= 0. then invalid_arg "Breaker: cooldown_s must be > 0";
+  {
+    eng;
+    config;
+    trace;
+    cells = Hashtbl.create 16;
+    opened_total = 0;
+    closed_total = 0;
+  }
+
+let cell t template =
+  match Hashtbl.find_opt t.cells template with
+  | Some c -> c
+  | None ->
+      let c =
+        { cstate = Closed; failures = 0; opened_at = 0.; probe_out = false }
+      in
+      Hashtbl.add t.cells template c;
+      c
+
+let emit t template event =
+  if Obs.Trace.enabled t.trace then
+    Obs.Trace.emit t.trace ~time:(Sim.Engine.now t.eng) ~qid:template event
+
+(* Lazily move an expired-open cell to half-open. *)
+let refresh t (c : cell) =
+  if
+    c.cstate = Open
+    && Sim.Engine.now t.eng -. c.opened_at >= t.config.cooldown_s
+  then (
+    c.cstate <- Half_open;
+    c.probe_out <- false)
+
+let admit t ~template =
+  let c = cell t template in
+  refresh t c;
+  match c.cstate with
+  | Closed -> Ok ()
+  | Half_open when not c.probe_out ->
+      c.probe_out <- true;
+      Ok ()
+  | Half_open | Open -> Error (Error.make ~detail:template Error.Breaker_open)
+
+let trip t template (c : cell) =
+  c.cstate <- Open;
+  c.opened_at <- Sim.Engine.now t.eng;
+  c.failures <- 0;
+  c.probe_out <- false;
+  t.opened_total <- t.opened_total + 1;
+  emit t template (Obs.Event.Breaker_open { template })
+
+let record_success t ~template =
+  let c = cell t template in
+  refresh t c;
+  match c.cstate with
+  | Closed -> c.failures <- 0
+  | Half_open ->
+      c.cstate <- Closed;
+      c.failures <- 0;
+      c.probe_out <- false;
+      t.closed_total <- t.closed_total + 1;
+      emit t template (Obs.Event.Breaker_close { template })
+  | Open ->
+      (* A query admitted before the trip finished late; its success says
+         nothing about the fault that opened the breaker. *)
+      ()
+
+let record_failure t ~template =
+  let c = cell t template in
+  refresh t c;
+  match c.cstate with
+  | Closed ->
+      c.failures <- c.failures + 1;
+      if c.failures >= t.config.failure_threshold then trip t template c
+  | Half_open -> trip t template c
+  | Open -> ()
+
+let state t ~template =
+  match Hashtbl.find_opt t.cells template with
+  | None -> Closed
+  | Some c ->
+      refresh t c;
+      c.cstate
+
+let states t =
+  Hashtbl.fold
+    (fun template c acc ->
+      refresh t c;
+      if c.cstate = Closed then acc else (template, c.cstate) :: acc)
+    t.cells []
+  |> List.sort compare
+
+let opened_total t = t.opened_total
+let closed_total t = t.closed_total

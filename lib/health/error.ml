@@ -1,0 +1,65 @@
+type code =
+  | Insufficient_memory
+  | Memory_wait_timeout
+  | Low_memory_condition
+  | Admission_shed
+  | Breaker_open
+  | Watchdog_cancelled
+  | Deadline_exceeded
+
+type severity = Severe | Warning | Informational
+type t = { code : code; detail : string }
+
+let make ?(detail = "") code = { code; detail }
+
+let all_codes =
+  [
+    Insufficient_memory;
+    Memory_wait_timeout;
+    Low_memory_condition;
+    Admission_shed;
+    Breaker_open;
+    Watchdog_cancelled;
+    Deadline_exceeded;
+  ]
+
+let code_name = function
+  | Insufficient_memory -> "insufficient-memory"
+  | Memory_wait_timeout -> "memory-wait-timeout"
+  | Low_memory_condition -> "low-memory-condition"
+  | Admission_shed -> "admission-shed"
+  | Breaker_open -> "breaker-open"
+  | Watchdog_cancelled -> "watchdog-cancelled"
+  | Deadline_exceeded -> "deadline-exceeded"
+
+let sql_code = function
+  | Insufficient_memory -> Some 701
+  | Memory_wait_timeout -> Some 8645
+  | Low_memory_condition -> Some 8651
+  | Admission_shed | Breaker_open | Watchdog_cancelled | Deadline_exceeded ->
+      None
+
+let severity = function
+  | Insufficient_memory | Memory_wait_timeout | Low_memory_condition -> Severe
+  | Watchdog_cancelled | Deadline_exceeded -> Warning
+  | Admission_shed | Breaker_open -> Informational
+
+let retryable = function
+  | Insufficient_memory | Memory_wait_timeout | Low_memory_condition
+  | Admission_shed | Breaker_open ->
+      true
+  | Watchdog_cancelled | Deadline_exceeded -> false
+
+let severity_name = function
+  | Severe -> "severe"
+  | Warning -> "warning"
+  | Informational -> "info"
+
+let to_string t =
+  let sql =
+    match sql_code t.code with
+    | Some n -> string_of_int n ^ " "
+    | None -> ""
+  in
+  let detail = if t.detail = "" then "" else Printf.sprintf " (%s)" t.detail in
+  sql ^ code_name t.code ^ detail

@@ -1,0 +1,55 @@
+(** Structured resource-error taxonomy.
+
+    Every way a query can fail for resource reasons in the simulated server
+    gets one code here, mirroring the SQL Server errors the paper's
+    mechanism surfaces in production: 701 (insufficient memory to run),
+    8645 (timeout waiting for a memory resource) and 8651 (could not get
+    the requested memory under low-memory conditions). The supervision
+    layer adds its own codes for the decisions it takes (shed, breaker
+    open, watchdog cancel) so that {e every} failure in a health report is
+    accounted for — no anonymous errors. *)
+
+type code =
+  | Insufficient_memory
+      (** compile-time allocation failed outright — SQL Server 701 *)
+  | Memory_wait_timeout
+      (** timed out queued for a memory resource (a compilation gateway or
+          the workspace-grant queue) — SQL Server 8645 *)
+  | Low_memory_condition
+      (** the requested workspace grant could not be produced under
+          low-memory conditions — SQL Server 8651 *)
+  | Admission_shed  (** admission control refused the query at the door *)
+  | Breaker_open  (** the template's circuit breaker is open *)
+  | Watchdog_cancelled  (** the watchdog cancelled a silent/stuck query *)
+  | Deadline_exceeded  (** the query's own deadline expired *)
+
+type severity = Severe | Warning | Informational
+
+type t = { code : code; detail : string }
+(** [detail] names the failing resource (gateway name, clerk, template). *)
+
+val make : ?detail:string -> code -> t
+
+val all_codes : code list
+(** Every code, in fixed report order. *)
+
+val code_name : code -> string
+(** Stable machine-readable name, e.g. ["memory-wait-timeout"]. *)
+
+val sql_code : code -> int option
+(** The SQL Server error number the code mirrors, if any. *)
+
+val severity : code -> severity
+(** 701/8645/8651 are [Severe]; watchdog cancels and missed deadlines are
+    [Warning]s (the supervisor chose them); sheds and breaker rejections
+    are [Informational] back-pressure, not failures of the engine. *)
+
+val retryable : code -> bool
+(** Whether a client retry has a reasonable chance: resource waits and
+    back-pressure are retryable; watchdog cancels and expired deadlines
+    are not (the query itself is the problem, or its budget is gone). *)
+
+val severity_name : severity -> string
+
+val to_string : t -> string
+(** One-line rendering: ["8645 memory-wait-timeout (big)"]. *)

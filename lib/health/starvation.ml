@@ -1,0 +1,91 @@
+type config = {
+  audit_s : float;
+  stall_audits : int;
+  widen_by : int;
+  max_widen : int;
+}
+
+let default_config =
+  { audit_s = 60.0; stall_audits = 3; widen_by = 1; max_widen = 2 }
+
+type gate = {
+  gname : string;
+  queued : unit -> int;
+  admitted : unit -> int;
+  slots : unit -> int;
+  set_slots : int -> unit;
+  base : int;
+  mutable last_admitted : int;
+  mutable stalled : int;  (* consecutive audits with waiters and no grants *)
+}
+
+type t = {
+  eng : Sim.Engine.t;
+  config : config;
+  trace : Obs.Trace.t;
+  mutable gates : gate list;
+  mutable widen_total : int;
+}
+
+let create ?(trace = Obs.Trace.null) eng config =
+  if config.audit_s <= 0. then invalid_arg "Starvation: audit_s must be > 0";
+  if config.stall_audits < 1 then
+    invalid_arg "Starvation: stall_audits must be >= 1";
+  { eng; config; trace; gates = []; widen_total = 0 }
+
+let add_gate t ~name ~queued ~admitted ~slots ~set_slots =
+  let g =
+    {
+      gname = name;
+      queued;
+      admitted;
+      slots;
+      set_slots;
+      base = slots ();
+      last_admitted = admitted ();
+      stalled = 0;
+    }
+  in
+  t.gates <- t.gates @ [ g ]
+
+let emit t event =
+  if Obs.Trace.enabled t.trace then
+    Obs.Trace.emit t.trace ~time:(Sim.Engine.now t.eng) ~qid:"" event
+
+let audit_gate t g =
+  let admitted = g.admitted () in
+  let progressed = admitted <> g.last_admitted in
+  g.last_admitted <- admitted;
+  if g.queued () = 0 then (
+    g.stalled <- 0;
+    (* Queue drained: give back any emergency slots. *)
+    if g.slots () > g.base then (
+      g.set_slots g.base;
+      emit t (Obs.Event.Gate_widen { gate = g.gname; slots = g.base })))
+  else if progressed then g.stalled <- 0
+  else begin
+    g.stalled <- g.stalled + 1;
+    if g.stalled >= t.config.stall_audits then begin
+      g.stalled <- 0;
+      let cur = g.slots () in
+      let widened = min (cur + t.config.widen_by) (g.base + t.config.max_widen) in
+      if widened > cur then (
+        g.set_slots widened;
+        t.widen_total <- t.widen_total + 1;
+        emit t (Obs.Event.Gate_widen { gate = g.gname; slots = widened }))
+    end
+  end
+
+let start t =
+  ignore
+    (Sim.Engine.every t.eng ~start:t.config.audit_s ~interval:t.config.audit_s
+       (fun () -> List.iter (audit_gate t) t.gates))
+
+let widen_total t = t.widen_total
+
+let widened_now t =
+  List.filter_map
+    (fun g ->
+      let extra = g.slots () - g.base in
+      if extra > 0 then Some (g.gname, extra) else None)
+    t.gates

@@ -1,0 +1,25 @@
+type config = {
+  enabled : bool;
+  watchdog : Watchdog.config;
+  starvation : Starvation.config;
+  breaker : Breaker.config;
+  insist_after : int;
+}
+
+let disabled =
+  {
+    enabled = false;
+    watchdog = Watchdog.default_config;
+    starvation = Starvation.default_config;
+    breaker = Breaker.default_config;
+    insist_after = 0;
+  }
+
+let default =
+  {
+    enabled = true;
+    watchdog = Watchdog.default_config;
+    starvation = Starvation.default_config;
+    breaker = Breaker.default_config;
+    insist_after = 5;
+  }

@@ -1,0 +1,23 @@
+(** Bundled supervision configuration.
+
+    One record gating the whole supervision layer, mirroring how
+    [Server.Resilience] bundles the degradation ladder: [disabled] (the
+    default — a supervised-off run is byte-identical to an unsupervised
+    one, since no supervision path consumes randomness) or [default]
+    (watchdog + starvation auditor + breakers + broker insistence all
+    on). *)
+
+type config = {
+  enabled : bool;
+  watchdog : Watchdog.config;
+  starvation : Starvation.config;
+  breaker : Breaker.config;
+  insist_after : int;
+      (** broker shrink-compliance: a component above its shrink target
+          for this many consecutive ticks gets a forced reclaim; [0]
+          disables insistence *)
+}
+
+val disabled : config
+val default : config
+(** Enabled, with each subsystem's default config and [insist_after = 5]. *)

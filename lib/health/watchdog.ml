@@ -1,0 +1,89 @@
+type config = { poll_s : float; stale_after_s : float; cancel_after_s : float }
+
+let default_config = { poll_s = 30.0; stale_after_s = 240.0; cancel_after_s = 720.0 }
+
+type session = {
+  qid : string;
+  id : int;
+  seng : Sim.Engine.t;
+  mutable last_beat : float;
+  mutable soft : bool;
+  mutable cancel : bool;
+}
+
+type t = {
+  eng : Sim.Engine.t;
+  config : config;
+  trace : Obs.Trace.t;
+  sessions : (int, session) Hashtbl.t;
+  mutable next_id : int;
+  mutable stale_total : int;
+  mutable cancel_total : int;
+}
+
+let create ?(trace = Obs.Trace.null) eng config =
+  if config.poll_s <= 0. then invalid_arg "Watchdog: poll_s must be > 0";
+  if config.stale_after_s <= 0. || config.cancel_after_s <= config.stale_after_s
+  then invalid_arg "Watchdog: need 0 < stale_after_s < cancel_after_s";
+  {
+    eng;
+    config;
+    trace;
+    sessions = Hashtbl.create 64;
+    next_id = 0;
+    stale_total = 0;
+    cancel_total = 0;
+  }
+
+let emit t qid event =
+  if Obs.Trace.enabled t.trace then
+    Obs.Trace.emit t.trace ~time:(Sim.Engine.now t.eng) ~qid event
+
+let audit t =
+  let now = Sim.Engine.now t.eng in
+  Hashtbl.iter
+    (fun _ s ->
+      let age = now -. s.last_beat in
+      if age >= t.config.cancel_after_s && not s.cancel then (
+        s.cancel <- true;
+        t.cancel_total <- t.cancel_total + 1;
+        emit t s.qid (Obs.Event.Watchdog_cancel { age }))
+      else if age >= t.config.stale_after_s && not s.soft then (
+        s.soft <- true;
+        t.stale_total <- t.stale_total + 1;
+        emit t s.qid (Obs.Event.Heartbeat_stale { age })))
+    t.sessions
+
+let start t =
+  ignore
+    (Sim.Engine.every t.eng ~start:t.config.poll_s ~interval:t.config.poll_s
+       (fun () -> audit t))
+
+let watch t ~qid =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let s =
+    {
+      qid;
+      id;
+      seng = t.eng;
+      last_beat = Sim.Engine.now t.eng;
+      soft = false;
+      cancel = false;
+    }
+  in
+  Hashtbl.replace t.sessions id s;
+  s
+
+let beat s =
+  s.last_beat <- Sim.Engine.now s.seng;
+  (* A fresh sign of life un-softens the query — unless the watchdog has
+     already escalated; cancellation is sticky. *)
+  if not s.cancel then s.soft <- false
+
+let unwatch t s = Hashtbl.remove t.sessions s.id
+let softened s = s.soft
+let cancel_requested s = s.cancel
+let watched t = Hashtbl.length t.sessions
+let stale_total t = t.stale_total
+let cancel_total t = t.cancel_total

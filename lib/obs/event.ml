@@ -44,6 +44,12 @@ type t =
   | Mem of { clerk : string; used : int }
   | Oom of { clerk : string; requested : int; free : int }
   | Reclaim of { wanted : int; freed : int }
+  | Heartbeat_stale of { age : float }
+  | Watchdog_cancel of { age : float }
+  | Breaker_open of { template : string }
+  | Breaker_close of { template : string }
+  | Forced_reclaim of { comp : string; wanted : int; freed : int }
+  | Gate_widen of { gate : string; slots : int }
   | Custom of { cat : string; name : string; args : (string * value) list }
 
 let category = function
@@ -54,6 +60,10 @@ let category = function
   | Exec_begin | Exec_end _ | Spill _ -> "exec"
   | Retry _ | Shed | Degrade _ | Cache_hit | Query_error _ -> "resilience"
   | Mem _ | Oom _ | Reclaim _ -> "mem"
+  | Heartbeat_stale _ | Watchdog_cancel _ | Breaker_open _ | Breaker_close _
+  | Gate_widen _ ->
+      "health"
+  | Forced_reclaim _ -> "broker"
   | Custom { cat; _ } -> cat
 
 let name = function
@@ -74,4 +84,10 @@ let name = function
   | Mem _ -> "mem:sample"
   | Oom _ -> "mem:oom"
   | Reclaim _ -> "mem:reclaim"
+  | Heartbeat_stale _ -> "health:heartbeat_stale"
+  | Watchdog_cancel _ -> "health:watchdog_cancel"
+  | Breaker_open _ -> "health:breaker_open"
+  | Breaker_close _ -> "health:breaker_close"
+  | Forced_reclaim _ -> "broker:forced_reclaim"
+  | Gate_widen _ -> "health:gate_widen"
   | Custom { cat; name; _ } -> cat ^ ":" ^ name

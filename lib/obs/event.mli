@@ -65,11 +65,27 @@ type t =
   | Oom of { clerk : string; requested : int; free : int }
   | Reclaim of { wanted : int; freed : int }
       (** donor shrink: the manager asked caches to give memory back *)
+  | Heartbeat_stale of { age : float }
+      (** watchdog: a query's last heartbeat is [age] seconds old; the
+          session has been softened (best-plan-so-far forced) *)
+  | Watchdog_cancel of { age : float }
+      (** watchdog escalation: the query stayed silent for [age] seconds
+          after softening and has been marked for cancellation *)
+  | Breaker_open of { template : string }
+      (** circuit breaker for a query template tripped open *)
+  | Breaker_close of { template : string }
+      (** circuit breaker recovered (half-open probe succeeded) *)
+  | Forced_reclaim of { comp : string; wanted : int; freed : int }
+      (** the broker insisted: component [comp] ignored its shrink target
+          for too many ticks and [freed] bytes were reclaimed by force *)
+  | Gate_widen of { gate : string; slots : int }
+      (** starvation auditor changed the named gateway to [slots] slots
+          (widened while starved, or restored when the queue drained) *)
   | Custom of { cat : string; name : string; args : (string * value) list }
 
 (** Coarse grouping used by exporters and summaries: one of ["compile"],
-    ["gateway"], ["broker"], ["grant"], ["exec"], ["resilience"], ["mem"]
-    or the category of the custom event. *)
+    ["gateway"], ["broker"], ["grant"], ["exec"], ["resilience"], ["mem"],
+    ["health"] or the category of the custom event. *)
 val category : t -> string
 
 (** Short display name, e.g. ["gateway:acquired"]. *)

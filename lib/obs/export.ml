@@ -162,6 +162,29 @@ let lower intern (r : Trace.record) : emitted list =
         ev 'i' "reclaim"
           ~args:[ ("wanted", Event.I wanted); ("freed", Event.I freed) ];
       ]
+  | Event.Heartbeat_stale { age } ->
+      [ ev 'i' "heartbeat_stale" ~args:[ ("age_s", Event.F age) ] ]
+  | Event.Watchdog_cancel { age } ->
+      [ ev 'i' "watchdog_cancel" ~args:[ ("age_s", Event.F age) ] ]
+  | Event.Breaker_open { template } ->
+      [ ev 'i' "breaker_open" ~args:[ ("template", Event.S template) ] ]
+  | Event.Breaker_close { template } ->
+      [ ev 'i' "breaker_close" ~args:[ ("template", Event.S template) ] ]
+  | Event.Forced_reclaim { comp; wanted; freed } ->
+      [
+        ev 'i' "forced_reclaim"
+          ~args:
+            [
+              ("comp", Event.S comp);
+              ("wanted", Event.I wanted);
+              ("freed", Event.I freed);
+            ];
+      ]
+  | Event.Gate_widen { gate; slots } ->
+      [
+        ev 'i' "gate_widen"
+          ~args:[ ("gate", Event.S gate); ("slots", Event.I slots) ];
+      ]
   | Event.Custom { cat; name; args } -> [ ev 'i' name ~cat ~args ]
 
 let chrome_event fmt ~first e =
@@ -270,6 +293,18 @@ let fields_of_event = function
       ]
   | Event.Reclaim { wanted; freed } ->
       [ ("wanted", Event.I wanted); ("freed", Event.I freed) ]
+  | Event.Heartbeat_stale { age } -> [ ("age_s", Event.F age) ]
+  | Event.Watchdog_cancel { age } -> [ ("age_s", Event.F age) ]
+  | Event.Breaker_open { template } -> [ ("template", Event.S template) ]
+  | Event.Breaker_close { template } -> [ ("template", Event.S template) ]
+  | Event.Forced_reclaim { comp; wanted; freed } ->
+      [
+        ("comp", Event.S comp);
+        ("wanted", Event.I wanted);
+        ("freed", Event.I freed);
+      ]
+  | Event.Gate_widen { gate; slots } ->
+      [ ("gate", Event.S gate); ("slots", Event.I slots) ]
   | Event.Custom { args; _ } -> args
 
 let jsonl fmt records =

@@ -20,6 +20,7 @@ type t = {
   metrics_interval : float;
   seed : int;
   resilience : Resilience.t;
+  supervision : Health.Supervise.config;
   faults : Faultsim.Fault.spec list;
 }
 
@@ -47,10 +48,14 @@ let default () =
     metrics_interval = 5.0;
     seed = 42;
     resilience = Resilience.disabled;
+    supervision = Health.Supervise.disabled;
     faults = [];
   }
 
 let resilient () = { (default ()) with resilience = Resilience.default }
+
+let supervised () =
+  { (resilient ()) with supervision = Health.Supervise.default }
 
 let unthrottled () =
   let base = default () in
@@ -74,6 +79,8 @@ let pp ppf t =
     (if t.throttle.Qcore.Throttle_config.dynamic then "dynamic thresholds"
      else "static thresholds")
     Qcore.Throttle_config.pp t.throttle Resilience.pp t.resilience;
+  if t.supervision.Health.Supervise.enabled then
+    Format.fprintf ppf "@,supervision ON: watchdog + starvation auditor + breakers";
   match t.faults with
   | [] -> ()
   | faults ->

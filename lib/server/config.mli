@@ -23,6 +23,9 @@ type t = {
   metrics_interval : float;  (** memory sampling period *)
   seed : int;
   resilience : Resilience.t;  (** retry/degrade/shed/deadline policy *)
+  supervision : Health.Supervise.config;
+      (** watchdog / starvation auditor / circuit breakers / broker
+          insistence; {!Health.Supervise.disabled} by default *)
   faults : Faultsim.Fault.spec list;
       (** chaos schedule injected by {!Experiment.run} / [dbsim chaos];
           empty for benign runs *)
@@ -32,6 +35,10 @@ val default : unit -> t
 
 (** [default] with the full resilience policy switched on. *)
 val resilient : unit -> t
+
+(** [resilient] plus the supervision layer
+    ({!Health.Supervise.default}). *)
+val supervised : unit -> t
 
 (** [default] with throttling disabled (the paper's baseline lines). *)
 val unthrottled : unit -> t

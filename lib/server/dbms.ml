@@ -1,3 +1,13 @@
+(* The supervision trio, created only when [Config.supervision] is
+   enabled. None of its mechanisms consume randomness, so a supervised
+   run that never intervenes is event-for-event identical to the
+   unsupervised one. *)
+type supervisor = {
+  wdog : Health.Watchdog.t;
+  starv : Health.Starvation.t;
+  breakers : Health.Breaker.t;
+}
+
 type t = {
   eng : Sim.Engine.t;
   trace : Obs.Trace.t;
@@ -19,7 +29,15 @@ type t = {
   retry_rng : Sim.Rng.t option;
       (* jitter stream, split only when resilience is on so the disabled
          configuration replays the seed byte for byte *)
+  super : supervisor option;
 }
+
+(* Queries are named "<template>#<serial>"; the breaker keys on the
+   template so a poison shape trips without condemning its siblings. *)
+let template_of_qid qid =
+  match String.index_opt qid '#' with
+  | Some i -> String.sub qid 0 i
+  | None -> qid
 
 let create ?(trace = Obs.Trace.null) eng cfg cat =
   let manager = Dbmem.Manager.create ~total:cfg.Config.memory_bytes () in
@@ -58,8 +76,20 @@ let create ?(trace = Obs.Trace.null) eng cfg cat =
     ~shrink:(fun n -> Plancache.Cache.shrink cache n);
   Dbmem.Manager.register_donor manager ~clerk:pool_clerk ~priority:1
     ~shrink:(fun n -> Bufpool.Pool.shrink pool n);
-  (* Broker components and their reactions to verdicts. *)
-  let broker = Qcore.Broker.create ~trace eng manager cfg.Config.broker in
+  (* Broker components and their reactions to verdicts. With supervision
+     on, the broker also gets the insistence knob (unless the caller set
+     one explicitly) and per-component reclaim hooks, so a component that
+     ignores [insist_after] consecutive shrink verdicts is shrunk by
+     force — the paper's "broker insists". *)
+  let sup = cfg.Config.supervision in
+  let broker_cfg =
+    if sup.Health.Supervise.enabled && cfg.Config.broker.Qcore.Broker.insist_after = 0
+    then
+      { cfg.Config.broker with
+        Qcore.Broker.insist_after = sup.Health.Supervise.insist_after }
+    else cfg.Config.broker
+  in
+  let broker = Qcore.Broker.create ~trace eng manager broker_cfg in
   let _pool_comp =
     Qcore.Broker.register broker ~name:"bufpool" ~clerk:pool_clerk ~weight:1.5
       ~min_bytes:cfg.Config.min_pool_bytes
@@ -69,6 +99,7 @@ let create ?(trace = Obs.Trace.null) eng cfg cat =
         | Qcore.Broker.Must_shrink ->
             ignore (Bufpool.Pool.shrink_to pool n.Qcore.Broker.target)
         | Qcore.Broker.Hold_rate | Qcore.Broker.Can_grow -> ())
+      ~reclaim:(fun n -> Bufpool.Pool.shrink pool n)
       ()
   in
   let _cache_comp =
@@ -79,6 +110,7 @@ let create ?(trace = Obs.Trace.null) eng cfg cat =
             let excess = Plancache.Cache.bytes cache - n.Qcore.Broker.target in
             if excess > 0 then ignore (Plancache.Cache.shrink cache excess)
         | Qcore.Broker.Hold_rate | Qcore.Broker.Can_grow -> ())
+      ~reclaim:(fun n -> Plancache.Cache.shrink cache n)
       ()
   in
   let _compile_comp =
@@ -131,6 +163,30 @@ let create ?(trace = Obs.Trace.null) eng cfg cat =
     then Some (Sim.Rng.split (Sim.Engine.rng eng))
     else None
   in
+  let super =
+    if not sup.Health.Supervise.enabled then None
+    else begin
+      let wdog = Health.Watchdog.create ~trace eng sup.Health.Supervise.watchdog in
+      let starv =
+        Health.Starvation.create ~trace eng sup.Health.Supervise.starvation
+      in
+      (* The audited gates are the compile gateways; the grant queue is
+         byte-denominated and already trims per query, so widening it is
+         the broker's job, not the auditor's. *)
+      Array.iter
+        (fun m ->
+          Health.Starvation.add_gate starv ~name:(Qcore.Monitor.name m)
+            ~queued:(fun () -> Qcore.Monitor.queued m)
+            ~admitted:(fun () -> Qcore.Monitor.acquires m)
+            ~slots:(fun () -> Qcore.Monitor.slots m)
+            ~set_slots:(fun n -> Qcore.Monitor.set_slots m n))
+        (Qcore.Compile_gov.monitors gov);
+      let breakers =
+        Health.Breaker.create ~trace eng sup.Health.Supervise.breaker
+      in
+      Some { wdog; starv; breakers }
+    end
+  in
   {
     eng;
     trace;
@@ -156,12 +212,18 @@ let create ?(trace = Obs.Trace.null) eng cfg cat =
       @ match ballast with Some c -> [ ("ballast", c) ] | None -> []);
     ballast;
     retry_rng;
+    super;
   }
 
 let start t =
   Qcore.Broker.start t.broker;
   Metrics.watch_memory ~trace:t.trace t.metrics
-    ~interval:t.cfg.Config.metrics_interval t.clerk_list
+    ~interval:t.cfg.Config.metrics_interval t.clerk_list;
+  match t.super with
+  | None -> ()
+  | Some s ->
+      Health.Watchdog.start s.wdog;
+      Health.Starvation.start s.starv
 
 let emit t ~qid ev =
   if Obs.Trace.enabled t.trace then
@@ -170,10 +232,15 @@ let emit t ~qid ev =
 (* Governed compilation: the Cascades environment reports allocations to
    the governor (which may block at gateways or fail), burns CPU on the
    shared pool, and asks the governor whether the broker predicts compile-
-   memory exhaustion. [deadline], when set, is the per-query watchdog: a
+   memory exhaustion. [deadline], when set, is the per-query deadline: a
    compilation past it is cancelled at its next allocation rather than
-   holding gateways for work that can no longer matter. *)
-let compile t ?deadline q =
+   holding gateways for work that can no longer matter. [watch], when
+   set, is the query's watchdog session: every allocation beats it, a
+   softened session forces best-plan-so-far, and a cancel request aborts
+   at the next allocation ([by_watchdog] distinguishes that abort from a
+   deadline when mapping to the error taxonomy — the optimizer's abort
+   vocabulary stays supervision-free). *)
+let compile t ?deadline ?watch ~by_watchdog q =
   let session =
     Qcore.Compile_gov.begin_compile ~qid:q.Optimizer.Query.qid t.gov
   in
@@ -183,19 +250,37 @@ let compile t ?deadline q =
         raise (Optimizer.Env.Aborted Optimizer.Env.Cancelled)
     | _ -> ()
   in
+  let check_watchdog () =
+    match watch with
+    | Some wd ->
+        Health.Watchdog.beat wd;
+        if Health.Watchdog.cancel_requested wd then begin
+          by_watchdog := true;
+          raise (Optimizer.Env.Aborted Optimizer.Env.Cancelled)
+        end
+    | None -> ()
+  in
   let env =
     {
       Optimizer.Env.alloc =
         (fun n ->
+          check_watchdog ();
           check_deadline ();
           match Qcore.Compile_gov.alloc session n with
           | Ok () -> ()
-          | Error (Qcore.Compile_gov.Gateway_timeout m) ->
-              raise (Optimizer.Env.Aborted (Optimizer.Env.Gateway_timeout m))
-          | Error Qcore.Compile_gov.Out_of_memory ->
+          | Error { Health.Error.code = Health.Error.Memory_wait_timeout; detail }
+            ->
+              raise
+                (Optimizer.Env.Aborted (Optimizer.Env.Gateway_timeout detail))
+          | Error _ ->
               raise (Optimizer.Env.Aborted Optimizer.Env.Out_of_memory));
       cpu = (fun s -> Execsim.Cpu.busy t.cpu s);
-      should_stop = (fun () -> Qcore.Compile_gov.should_stop_early t.gov);
+      should_stop =
+        (fun () ->
+          Qcore.Compile_gov.should_stop_early t.gov
+          || match watch with
+             | Some wd -> Health.Watchdog.softened wd
+             | None -> false);
     }
   in
   let started = Sim.Engine.now t.eng in
@@ -236,9 +321,7 @@ let compile_degraded t q =
         Qcore.Compile_gov.alloc session
           (params.Optimizer.Cascades.phys_bytes * n)
       with
-      | Error (Qcore.Compile_gov.Gateway_timeout _) ->
-          Error Metrics.Gateway_timeout
-      | Error Qcore.Compile_gov.Out_of_memory -> Error Metrics.Compile_oom
+      | Error e -> Error e
       | Ok () ->
           (* Greedy is ~n^2 candidate evaluations. *)
           Execsim.Cpu.busy t.cpu
@@ -269,16 +352,21 @@ let should_shed t =
   float_of_int in_flight *. predicted_per_query
   > r.Resilience.shed_factor *. float_of_int target
 
-let abort_to_error = function
-  | Optimizer.Env.Out_of_memory -> Metrics.Compile_oom
-  | Optimizer.Env.Gateway_timeout _ -> Metrics.Gateway_timeout
-  | Optimizer.Env.Cancelled -> Metrics.Deadline
+let abort_to_error ~by_watchdog = function
+  | Optimizer.Env.Out_of_memory ->
+      Health.Error.make ~detail:"compile" Health.Error.Insufficient_memory
+  | Optimizer.Env.Gateway_timeout m ->
+      Health.Error.make ~detail:m Health.Error.Memory_wait_timeout
+  | Optimizer.Env.Cancelled ->
+      if by_watchdog then
+        Health.Error.make ~detail:"compile" Health.Error.Watchdog_cancelled
+      else Health.Error.make ~detail:"compile" Health.Error.Deadline_exceeded
 
 (* One compile attempt, choosing the ladder rung. Cached plans bypass
    everything: they cost no compile memory. Degraded plans are *not*
    cached — a repeat of the same query in calmer weather deserves the real
    optimizer. *)
-let plan_for t ~degraded ~deadline q =
+let plan_for t ~degraded ~deadline ~watch q =
   match Plancache.Cache.lookup t.cache q.Optimizer.Query.qid with
   | Some plan ->
       Metrics.record_cache_hit t.metrics;
@@ -289,7 +377,8 @@ let plan_for t ~degraded ~deadline q =
       | Ok (plan, elapsed) -> Ok (plan, elapsed, true)
       | Error e -> Error e)
   | None -> (
-      match compile t ?deadline q with
+      let by_watchdog = ref false in
+      match compile t ?deadline ?watch ~by_watchdog q with
       | Ok (r, elapsed) ->
           let compile_cost =
             float_of_int r.Optimizer.Cascades.stats.Optimizer.Cascades.tasks
@@ -298,7 +387,7 @@ let plan_for t ~degraded ~deadline q =
           Plancache.Cache.insert t.cache ~key:q.Optimizer.Query.qid
             ~plan:r.Optimizer.Cascades.plan ~compile_cost;
           Ok (r.Optimizer.Cascades.plan, elapsed, false)
-      | Error reason -> Error (abort_to_error reason))
+      | Error reason -> Error (abort_to_error ~by_watchdog:!by_watchdog reason))
 
 let submit t q =
   let r = t.cfg.Config.resilience in
@@ -313,120 +402,193 @@ let submit t q =
     | None -> false
   in
   let qid = q.Optimizer.Query.qid in
-  let fail kind =
-    Metrics.record_error t.metrics kind;
+  let template = template_of_qid qid in
+  let fail (e : Health.Error.t) =
+    Metrics.record_error t.metrics e.Health.Error.code;
     emit t ~qid
-      (Obs.Event.Query_error { kind = Metrics.error_kind_name kind });
-    Error kind
+      (Obs.Event.Query_error { kind = Health.Error.code_name e.Health.Error.code });
+    (* Hard failures feed the template's breaker; back-pressure results
+       (sheds, breaker refusals) must not, or an open breaker would keep
+       itself open with its own rejections. *)
+    (match t.super with
+    | Some s when Metrics.is_hard_error e.Health.Error.code ->
+        Health.Breaker.record_failure s.breakers ~template
+    | _ -> ());
+    Error e
   in
-  (* Retry ladder: [attempt] is 1-based; [degraded] sticks once entered.
-     Transient kinds (gateway/grant timeouts, execution OOM — all symptoms
-     of a passing memory or load transient) back off and retry; compile
-     OOM falls one rung down the ladder and retries immediately with the
-     greedy plan; everything else is final. *)
-  let rec attempt n ~degraded =
-    (* Under any broker pressure the full search would queue at shrunken
-       gateways (and likely OOM); go straight to the cheap rung instead of
-       burning a long gateway wait first. *)
-    let degraded =
-      degraded
-      || r.Resilience.enabled && r.Resilience.degrade_enabled
-         && Qcore.Compile_gov.pressure t.gov <> Qcore.Compile_gov.Calm
-    in
-    match plan_for t ~degraded ~deadline q with
-    | Error Metrics.Compile_oom
-      when r.Resilience.enabled && r.Resilience.degrade_enabled
-           && not degraded ->
-        (* The full search could not get memory; the greedy plan needs
-           almost none. Fall down the ladder without burning a retry. *)
-        attempt n ~degraded:true
-    | Error (Metrics.Gateway_timeout as kind) -> retry n ~degraded kind
-    | Error kind -> fail kind
-    | Ok (plan, compile_s, was_degraded) ->
-        if past_deadline () then fail Metrics.Deadline
-        else (
-          let finish ~reduced outcome =
-            Metrics.record_completion t.metrics ~compile_s
-              ~exec_s:outcome.Execsim.Runner.duration;
-            if was_degraded || reduced then Metrics.record_degraded t.metrics;
-            Ok ()
-          in
-          match
-            Execsim.Runner.run ~qid t.exec_resources t.cfg.Config.exec_config
-              plan
-          with
-          | Ok outcome -> finish ~reduced:false outcome
-          | Error `Grant_timeout -> retry n ~degraded Metrics.Grant_timeout
-          | Error `Out_of_memory
-            when r.Resilience.enabled && r.Resilience.degrade_enabled -> (
-              (* The exec rung of the ladder: the plan's ideal workspace is
-                 not physically available, so immediately rerun asking for
-                 the grant floor and spill the shortfall to disk — slower,
-                 but it completes while the full-size run cannot. *)
+  (* Breaker admission first — the cheapest gate: a poison template is
+     refused before it can burn a gateway slot or a grant wait. *)
+  match
+    match t.super with
+    | Some s -> Health.Breaker.admit s.breakers ~template
+    | None -> Ok ()
+  with
+  | Error e -> fail e
+  | Ok () when should_shed t ->
+      emit t ~qid Obs.Event.Shed;
+      fail (Health.Error.make ~detail:"admission" Health.Error.Admission_shed)
+  | Ok () ->
+      let watch =
+        match t.super with
+        | Some s -> Some (Health.Watchdog.watch s.wdog ~qid)
+        | None -> None
+      in
+      let beat () =
+        match watch with Some wd -> Health.Watchdog.beat wd | None -> ()
+      in
+      let cancelled () =
+        match watch with
+        | Some wd -> Health.Watchdog.cancel_requested wd
+        | None -> false
+      in
+      let finally () =
+        match (t.super, watch) with
+        | Some s, Some wd -> Health.Watchdog.unwatch s.wdog wd
+        | _ -> ()
+      in
+      Fun.protect ~finally @@ fun () ->
+      (* Retry ladder: [attempt] is 1-based; [degraded] sticks once
+         entered. Transient codes (memory-wait timeouts at gateways or the
+         grant queue, low-memory grant failures — all symptoms of a
+         passing memory or load transient) back off and retry; compile
+         insufficient-memory falls one rung down the ladder and retries
+         immediately with the greedy plan; everything else is final. *)
+      let rec attempt n ~degraded =
+        (* Under any broker pressure the full search would queue at
+           shrunken gateways (and likely OOM); go straight to the cheap
+           rung instead of burning a long gateway wait first. *)
+        let degraded =
+          degraded
+          || r.Resilience.enabled && r.Resilience.degrade_enabled
+             && Qcore.Compile_gov.pressure t.gov <> Qcore.Compile_gov.Calm
+        in
+        match plan_for t ~degraded ~deadline ~watch q with
+        | Error { Health.Error.code = Health.Error.Insufficient_memory; _ }
+          when r.Resilience.enabled && r.Resilience.degrade_enabled
+               && not degraded ->
+            (* The full search could not get memory; the greedy plan needs
+               almost none. Fall down the ladder without burning a retry. *)
+            attempt n ~degraded:true
+        | Error ({ Health.Error.code = Health.Error.Memory_wait_timeout; _ } as e)
+          ->
+            retry n ~degraded e
+        | Error e -> fail e
+        | Ok (plan, compile_s, was_degraded) ->
+            if cancelled () then
+              fail
+                (Health.Error.make ~detail:"exec"
+                   Health.Error.Watchdog_cancelled)
+            else if past_deadline () then
+              fail
+                (Health.Error.make ~detail:"exec"
+                   Health.Error.Deadline_exceeded)
+            else (
+              beat ();
+              let finish ~reduced outcome =
+                beat ();
+                Metrics.record_completion t.metrics ~compile_s
+                  ~exec_s:outcome.Execsim.Runner.duration;
+                if was_degraded || reduced then
+                  Metrics.record_degraded t.metrics;
+                Ok ()
+              in
               match
-                Execsim.Runner.run
-                  ~grant_cap:(Execsim.Grant.min_grant t.grants)
-                  ~qid t.exec_resources t.cfg.Config.exec_config plan
+                Execsim.Runner.run ~qid t.exec_resources
+                  t.cfg.Config.exec_config plan
               with
-              | Ok outcome -> finish ~reduced:true outcome
-              | Error `Grant_timeout -> retry n ~degraded Metrics.Grant_timeout
-              | Error `Out_of_memory -> retry n ~degraded Metrics.Exec_oom)
-          | Error `Out_of_memory -> retry n ~degraded Metrics.Exec_oom)
-  and retry n ~degraded kind =
-    match t.retry_rng with
-    | Some rng when r.Resilience.enabled && n <= r.Resilience.max_retries ->
-        let pause = Resilience.backoff r ~attempt:n ~rng in
-        if
-          match deadline with
-          | Some d -> Sim.Engine.now t.eng +. pause > d
-          | None -> false
-        then fail kind
-        else begin
-          Metrics.record_retry t.metrics;
-          emit t ~qid
-            (Obs.Event.Retry
-               { attempt = n; pause_s = pause;
-                 kind = Metrics.error_kind_name kind });
-          (* Under broker pressure the failure is storm-induced: park, and
-             cut the backoff short (after a minimum base pause) as soon as
-             the broker calms, so queries stranded behind a pressure spike
-             retry at the release instead of a full exponential later. In
-             calm weather keep the plain exponential pause. *)
-          let parked =
-            Qcore.Compile_gov.pressure t.gov <> Qcore.Compile_gov.Calm
-          in
-          if not parked then Sim.Engine.sleep pause
-          else begin
-            let slice = 5.0 in
-            let minimum = Float.min pause r.Resilience.backoff_base_s in
-            let rec nap slept =
-              if slept < pause then begin
-                let step = Float.min slice (pause -. slept) in
-                Sim.Engine.sleep step;
-                let slept = slept +. step in
-                if
-                  slept < minimum
-                  || Qcore.Compile_gov.pressure t.gov
-                     <> Qcore.Compile_gov.Calm
-                then nap slept
-              end
-            in
-            nap 0.
-          end;
-          attempt (n + 1) ~degraded
-        end
-    | _ -> fail kind
-  in
-  if should_shed t then begin
-    emit t ~qid Obs.Event.Shed;
-    fail Metrics.Admission_shed
-  end
-  else attempt 1 ~degraded:false
+              | Ok outcome -> finish ~reduced:false outcome
+              | Error { Health.Error.code = Health.Error.Low_memory_condition; _ }
+                when r.Resilience.enabled && r.Resilience.degrade_enabled -> (
+                  (* The exec rung of the ladder: the plan's ideal
+                     workspace is not physically available, so immediately
+                     rerun asking for the grant floor and spill the
+                     shortfall to disk — slower, but it completes while
+                     the full-size run cannot. *)
+                  match
+                    Execsim.Runner.run
+                      ~grant_cap:(Execsim.Grant.min_grant t.grants)
+                      ~qid t.exec_resources t.cfg.Config.exec_config plan
+                  with
+                  | Ok outcome -> finish ~reduced:true outcome
+                  | Error e -> retry n ~degraded e)
+              | Error e -> retry n ~degraded e)
+      and retry n ~degraded (e : Health.Error.t) =
+        match t.retry_rng with
+        | Some rng when r.Resilience.enabled && n <= r.Resilience.max_retries
+          ->
+            let pause = Resilience.backoff r ~attempt:n ~rng in
+            if
+              match deadline with
+              | Some d -> Sim.Engine.now t.eng +. pause > d
+              | None -> false
+            then fail e
+            else begin
+              Metrics.record_retry t.metrics;
+              emit t ~qid
+                (Obs.Event.Retry
+                   { attempt = n; pause_s = pause;
+                     kind = Health.Error.code_name e.Health.Error.code });
+              (* Under broker pressure the failure is storm-induced: park,
+                 and cut the backoff short (after a minimum base pause) as
+                 soon as the broker calms, so queries stranded behind a
+                 pressure spike retry at the release instead of a full
+                 exponential later. In calm weather keep the plain
+                 exponential pause — sliced when supervised so the
+                 heartbeat stays fresh (a parked query is waiting, not
+                 stuck). *)
+              let parked =
+                Qcore.Compile_gov.pressure t.gov <> Qcore.Compile_gov.Calm
+              in
+              (if not parked then
+                 match watch with
+                 | None -> Sim.Engine.sleep pause
+                 | Some wd ->
+                     let slice = 15.0 in
+                     let rec nap slept =
+                       if slept < pause then begin
+                         let step = Float.min slice (pause -. slept) in
+                         Sim.Engine.sleep step;
+                         Health.Watchdog.beat wd;
+                         nap (slept +. step)
+                       end
+                     in
+                     nap 0.
+               else begin
+                 let slice = 5.0 in
+                 let minimum = Float.min pause r.Resilience.backoff_base_s in
+                 let rec nap slept =
+                   if slept < pause then begin
+                     let step = Float.min slice (pause -. slept) in
+                     Sim.Engine.sleep step;
+                     beat ();
+                     let slept = slept +. step in
+                     if
+                       slept < minimum
+                       || Qcore.Compile_gov.pressure t.gov
+                          <> Qcore.Compile_gov.Calm
+                     then nap slept
+                   end
+                 in
+                 nap 0.
+               end);
+              if cancelled () then
+                fail
+                  (Health.Error.make ~detail:"retry"
+                     Health.Error.Watchdog_cancelled)
+              else attempt (n + 1) ~degraded
+            end
+        | _ -> fail e
+      in
+      let result = attempt 1 ~degraded:false in
+      (match (result, t.super) with
+      | Ok (), Some s -> Health.Breaker.record_success s.breakers ~template
+      | _ -> ());
+      result
 
 let submit_catch t q =
   match submit t q with
   | Ok () -> Ok ()
-  | Error e -> Error (Metrics.error_kind_name e)
+  | Error e -> Error (Health.Error.to_string e)
 
 (* Wire the configured fault schedule into this server's attack surface.
    [spawn_burst] is supplied by whoever owns the workload (Experiment, the
@@ -470,6 +632,47 @@ let install_faults ?spawn_burst t =
         (Faultsim.Injector.install t.eng
            ~rng:(Sim.Rng.split (Sim.Engine.rng t.eng))
            ~hooks specs)
+
+(* Snapshot of what the supervision layer saw and did. Meaningful for an
+   unsupervised server too: the error budget and completion counts come
+   from the metrics, with all supervision counters at zero. *)
+let health_report t ?(since = 0.) () =
+  {
+    Health.Report.duration_s = Sim.Engine.now t.eng -. since;
+    completed = Metrics.total_completions t.metrics ~since ();
+    errors = Metrics.errors t.metrics;
+    watchdog_watched =
+      (match t.super with Some s -> Health.Watchdog.watched s.wdog | None -> 0);
+    watchdog_stale =
+      (match t.super with
+      | Some s -> Health.Watchdog.stale_total s.wdog
+      | None -> 0);
+    watchdog_cancels =
+      (match t.super with
+      | Some s -> Health.Watchdog.cancel_total s.wdog
+      | None -> 0);
+    breaker_opens =
+      (match t.super with
+      | Some s -> Health.Breaker.opened_total s.breakers
+      | None -> 0);
+    breaker_closes =
+      (match t.super with
+      | Some s -> Health.Breaker.closed_total s.breakers
+      | None -> 0);
+    breakers_open =
+      (match t.super with
+      | Some s -> Health.Breaker.states s.breakers
+      | None -> []);
+    gate_widens =
+      (match t.super with
+      | Some s -> Health.Starvation.widen_total s.starv
+      | None -> 0);
+    gates_widened =
+      (match t.super with
+      | Some s -> Health.Starvation.widened_now s.starv
+      | None -> []);
+    forced_reclaims = Qcore.Broker.forced_reclaims t.broker;
+  }
 
 let engine t = t.eng
 let trace t = t.trace

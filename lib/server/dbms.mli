@@ -21,12 +21,15 @@ val create : ?trace:Obs.Trace.t -> Sim.Engine.t -> Config.t -> Optimizer.Catalog
 val start : t -> unit
 
 (** Process-blocking end-to-end query execution: plan-cache probe,
-    admission control, governed compilation (with the degradation ladder),
-    grant acquisition, simulated execution — plus the configured retry
-    policy around the transient failure modes. With
+    breaker and admission control, governed compilation (with the
+    degradation ladder), grant acquisition, simulated execution — plus
+    the configured retry policy around the transient failure modes. With
     [config.resilience = Resilience.disabled] (the default) the behaviour
-    is the seed pipeline exactly. *)
-val submit : t -> Optimizer.Query.t -> (unit, Metrics.error_kind) result
+    is the seed pipeline exactly; with [config.supervision] enabled the
+    query additionally holds a watchdog heartbeat, is gated by its
+    template's circuit breaker, and every failure carries a structured
+    {!Health.Error.t}. *)
+val submit : t -> Optimizer.Query.t -> (unit, Health.Error.t) result
 
 (** {!submit} with the error rendered as a string (client callback form). *)
 val submit_catch : t -> Optimizer.Query.t -> (unit, string) result
@@ -40,6 +43,12 @@ val install_faults :
   ?spawn_burst:(clients:int -> think_mean:float -> until:float -> unit) ->
   t ->
   Faultsim.Injector.t option
+
+(** Snapshot the supervision layer's books: per-code error budget,
+    watchdog / breaker / starvation counters, forced reclaims. [since]
+    bounds the completion count and duration (default [0.]). Meaningful
+    for unsupervised servers too (supervision counters read zero). *)
+val health_report : t -> ?since:float -> unit -> Health.Report.t
 
 (** {1 Component access (metrics, tests, benches)} *)
 

@@ -107,7 +107,7 @@ let run ?config ?client_config ?catalog ?templates ?seed ?trace ~clients
     sheds = Metrics.sheds metrics;
     degraded = Metrics.degraded metrics;
     errors =
-      List.map (fun (k, n) -> (Metrics.error_kind_name k, n)) (Metrics.errors metrics);
+      List.map (fun (k, n) -> (Health.Error.code_name k, n)) (Metrics.errors metrics);
     faults_started =
       (match injector with Some i -> Faultsim.Injector.started i | None -> 0);
     faults_finished =

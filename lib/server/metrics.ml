@@ -1,34 +1,15 @@
-type error_kind =
-  | Gateway_timeout
-  | Compile_oom
-  | Grant_timeout
-  | Exec_oom
-  | Admission_shed
-  | Deadline
+(* Errors are counted by structured taxonomy code (Health.Error), so the
+   server's books and the health report speak the same vocabulary. *)
 
-let error_kinds =
-  [ Gateway_timeout; Compile_oom; Grant_timeout; Exec_oom; Admission_shed;
-    Deadline ]
-
-let error_kind_name = function
-  | Gateway_timeout -> "gateway-timeout"
-  | Compile_oom -> "compile-oom"
-  | Grant_timeout -> "grant-timeout"
-  | Exec_oom -> "exec-oom"
-  | Admission_shed -> "admission-shed"
-  | Deadline -> "deadline"
-
-(* Sheds are deliberate, polite refusals under overload; everything else
-   is a hard resource failure (the reliability numbers of §5). *)
-let is_hard_error = function
-  | Gateway_timeout | Compile_oom | Grant_timeout | Exec_oom | Deadline ->
-      true
-  | Admission_shed -> false
+(* Back-pressure refusals (sheds, open breakers) are deliberate, polite
+   refusals under overload; everything else is a hard resource failure
+   (the reliability numbers of §5). *)
+let is_hard_error code = Health.Error.severity code <> Health.Error.Informational
 
 type t = {
   eng : Sim.Engine.t;
   completions : Sim.Series.t;
-  mutable error_counts : (error_kind * int ref) list;
+  mutable error_counts : (Health.Error.code * int ref) list;
   compile_time : Sim.Stats.Online.t;
   exec_time : Sim.Stats.Online.t;
   compile_peak : Sim.Stats.Online.t;
@@ -42,7 +23,7 @@ let create eng =
   {
     eng;
     completions = Sim.Series.create ~name:"completions" ();
-    error_counts = List.map (fun k -> (k, ref 0)) error_kinds;
+    error_counts = List.map (fun k -> (k, ref 0)) Health.Error.all_codes;
     compile_time = Sim.Stats.Online.create ();
     exec_time = Sim.Stats.Online.create ();
     compile_peak = Sim.Stats.Online.create ();
@@ -57,7 +38,7 @@ let record_completion t ~compile_s ~exec_s =
   Sim.Stats.Online.add t.compile_time compile_s;
   Sim.Stats.Online.add t.exec_time exec_s
 
-let record_error t kind = incr (List.assoc kind t.error_counts)
+let record_error t code = incr (List.assoc code t.error_counts)
 let record_compile_peak t bytes = Sim.Stats.Online.add t.compile_peak (float_of_int bytes)
 let record_cache_hit t = t.cache_hits <- t.cache_hits + 1
 let record_retry t = t.retries <- t.retries + 1
@@ -90,7 +71,7 @@ let total_completions t ?(since = 0.) () =
   Array.length (Sim.Series.values_between t.completions ~start:since ~stop:infinity)
 
 let errors t = List.map (fun (k, r) -> (k, !r)) t.error_counts
-let error_count t kind = !(List.assoc kind t.error_counts)
+let error_count t code = !(List.assoc code t.error_counts)
 let total_errors t = List.fold_left (fun acc (_, r) -> acc + !r) 0 t.error_counts
 
 let hard_errors t =
@@ -98,7 +79,7 @@ let hard_errors t =
     (fun acc (k, r) -> if is_hard_error k then acc + !r else acc)
     0 t.error_counts
 
-let sheds t = error_count t Admission_shed
+let sheds t = error_count t Health.Error.Admission_shed
 let cache_hits t = t.cache_hits
 let retries t = t.retries
 let degraded t = t.degraded
@@ -110,7 +91,8 @@ let memory_series t = t.memory
 let pp ppf t =
   Format.fprintf ppf "@[<v>completions: %d@," (Sim.Series.length t.completions);
   List.iter
-    (fun (k, n) -> if n > 0 then Format.fprintf ppf "%s: %d@," (error_kind_name k) n)
+    (fun (k, n) ->
+      if n > 0 then Format.fprintf ppf "%s: %d@," (Health.Error.code_name k) n)
     (errors t);
   if t.retries > 0 || t.degraded > 0 then
     Format.fprintf ppf "retries: %d, degraded completions: %d@," t.retries

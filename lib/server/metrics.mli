@@ -1,22 +1,17 @@
 (** Server-wide measurement: everything the paper's evaluation reports.
 
     Successful completions are an event series later bucketed into
-    completions-per-time-slice (Figures 3-5); errors are counted by kind
-    (the reliability discussion); compile/execute durations and compile
-    memory peaks feed the in-text claims; per-clerk memory is sampled
-    periodically for the Figure-2-style memory traces. *)
+    completions-per-time-slice (Figures 3-5); errors are counted by
+    structured {!Health.Error.code} (the taxonomy the health report and
+    error-budget table print), so no failure is ever anonymous;
+    compile/execute durations and compile memory peaks feed the in-text
+    claims; per-clerk memory is sampled periodically for the
+    Figure-2-style memory traces. *)
 
-type error_kind =
-  | Gateway_timeout
-  | Compile_oom
-  | Grant_timeout
-  | Exec_oom
-  | Admission_shed  (** load shedding refused the query at admission *)
-  | Deadline  (** per-query deadline watchdog fired *)
-
-(** Sheds are deliberate refusals under overload; all other kinds are hard
-    resource failures. *)
-val is_hard_error : error_kind -> bool
+(** Back-pressure refusals ({!Health.Error.Admission_shed},
+    {!Health.Error.Breaker_open} — the [Informational] severity) are
+    deliberate; all other codes are hard resource failures. *)
+val is_hard_error : Health.Error.code -> bool
 
 type t
 
@@ -25,7 +20,7 @@ val create : Sim.Engine.t -> t
 (** Record one successful query completion (now). *)
 val record_completion : t -> compile_s:float -> exec_s:float -> unit
 
-val record_error : t -> error_kind -> unit
+val record_error : t -> Health.Error.code -> unit
 val record_compile_peak : t -> int -> unit
 val record_cache_hit : t -> unit
 
@@ -54,11 +49,14 @@ val throughput :
   t -> start:float -> stop:float -> width:float -> (float * float) array
 
 val total_completions : t -> ?since:float -> unit -> int
-val errors : t -> (error_kind * int) list
-val error_count : t -> error_kind -> int
+
+(** Per-code counters, every code of the taxonomy in fixed order. *)
+val errors : t -> (Health.Error.code * int) list
+
+val error_count : t -> Health.Error.code -> int
 val total_errors : t -> int
 
-(** Errors excluding admission sheds (the reliability number of §5). *)
+(** Errors excluding back-pressure (the reliability number of §5). *)
 val hard_errors : t -> int
 
 val sheds : t -> int
@@ -72,5 +70,4 @@ val compile_peak : t -> Sim.Stats.Online.t
 (** Sampled memory series per watched clerk name. *)
 val memory_series : t -> (string * Sim.Series.t) list
 
-val error_kind_name : error_kind -> string
 val pp : Format.formatter -> t -> unit

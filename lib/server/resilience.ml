@@ -40,10 +40,15 @@ let default =
   }
 
 let backoff t ~attempt ~rng =
-  if attempt < 1 then invalid_arg "Resilience.backoff: attempt < 1";
+  (* Clamp rather than trust the caller: an attempt counter that underflowed
+     to 0 or negative gets the base pause, and a policy hand-built with a
+     negative jitter fraction or cap must never produce a negative sleep
+     (the engine would reject it mid-run, after hours of simulation). *)
+  let attempt = max 1 attempt in
   let base =
-    Float.min t.backoff_max_s
-      (t.backoff_base_s *. (2. ** float_of_int (attempt - 1)))
+    Float.max 0.
+      (Float.min t.backoff_max_s
+         (t.backoff_base_s *. (2. ** float_of_int (attempt - 1))))
   in
   let jitter_span = t.jitter_frac *. base in
   if jitter_span > 0. then base +. Sim.Rng.float rng jitter_span else base

@@ -42,7 +42,8 @@ val default : t
 (** [backoff t ~attempt ~rng] is the sleep before retry [attempt]
     (1-based): [min backoff_max_s (backoff_base_s * 2^(attempt-1))] plus
     uniform jitter in [0, jitter_frac * that). Deterministic given the RNG
-    state. *)
+    state. Defensive at the edges: [attempt <= 0] is clamped to 1, and a
+    negative [jitter_frac] or cap can never yield a negative sleep. *)
 val backoff : t -> attempt:int -> rng:Sim.Rng.t -> float
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+(** The canonical chaos scenario, shared by [dbsim health], the golden
+    health-report test and the supervision property tests, so the CLI and
+    the test suite always exercise the same schedule.
+
+    Everything is deterministic in the seed: the same parameters and seed
+    replay the same run, byte for byte. *)
+
+(** The default schedule: a 12 GiB external ballast ramping over 600 s
+    starting at [at] (the paper's §3 external-pressure transient), plus a
+    transient allocation-failure window on the compile clerk for the same
+    600 s so the circuit breakers and the error taxonomy see real 701s.
+    [ballast_gib = 0.] / [glitch = 0.] drop the respective fault. *)
+val chaos_faults :
+  ?ballast_gib:float ->
+  ?at:float ->
+  ?ramp_steps:int ->
+  ?step_s:float ->
+  ?glitch:float ->
+  unit ->
+  Faultsim.Fault.spec list
+
+type outcome = {
+  dbms : Dbms.t;  (** the server, kept alive for component inspection *)
+  report : Health.Report.t;  (** snapshot since the end of warm-up *)
+  completed : int;  (** completions since the end of warm-up *)
+  faults : Faultsim.Fault.spec list;  (** the schedule that ran *)
+  client_stats : Workload.Client.stats;
+}
+
+(** [run_chaos ()] builds a server from [config]
+    ({!Config.supervised} by default), installs [faults]
+    ({!chaos_faults} by default), loads it with [clients] SALES clients
+    until [warmup + measure], then keeps the engine running for [drain]
+    further seconds with no new submissions so in-flight queries can
+    finish — a session still watched after the drain is genuinely stuck.
+    Raises [Failure] if any simulation process died. *)
+val run_chaos :
+  ?config:Config.t ->
+  ?faults:Faultsim.Fault.spec list ->
+  ?seed:int ->
+  ?clients:int ->
+  ?warmup:float ->
+  ?measure:float ->
+  ?drain:float ->
+  ?think_mean:float ->
+  ?trace:Obs.Trace.t ->
+  unit ->
+  outcome

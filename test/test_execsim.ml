@@ -127,7 +127,8 @@ let test_grant_queueing_and_timeout () =
       second := Some (Grant.acquire g ~ideal:(mib 50) ()));
   Sim.Engine.run_all eng;
   (match !second with
-  | Some (Error `Timeout) -> ()
+  | Some (Error { Health.Error.code = Health.Error.Memory_wait_timeout; _ }) ->
+      ()
   | _ -> Alcotest.fail "expected grant timeout");
   Alcotest.(check int) "timeout counted" 1 (Grant.timeouts g)
 
@@ -318,7 +319,8 @@ let test_runner_grant_timeout_surfaces () =
       result := Some (Runner.run resources Runner.default_config plan));
   Sim.Engine.run eng ~until:2_000.;
   match !result with
-  | Some (Error `Grant_timeout) -> ()
+  | Some (Error { Health.Error.code = Health.Error.Memory_wait_timeout; _ }) ->
+      ()
   | _ -> Alcotest.fail "expected grant timeout"
 
 let suite =

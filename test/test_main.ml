@@ -16,5 +16,6 @@ let () =
       ("trace", Test_trace.suite);
       ("fuzz", Test_fuzz.suite);
       ("chaos", Test_chaos.suite);
+      ("health", Test_health.suite);
       ("misc", Test_misc.suite);
     ]

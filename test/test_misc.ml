@@ -12,15 +12,15 @@ let test_metrics_recording () =
       Server.Metrics.record_completion m ~compile_s:5. ~exec_s:20.;
       Sim.Engine.sleep 10.;
       Server.Metrics.record_completion m ~compile_s:15. ~exec_s:40.;
-      Server.Metrics.record_error m Server.Metrics.Compile_oom;
-      Server.Metrics.record_error m Server.Metrics.Compile_oom;
-      Server.Metrics.record_error m Server.Metrics.Grant_timeout;
+      Server.Metrics.record_error m Health.Error.Insufficient_memory;
+      Server.Metrics.record_error m Health.Error.Insufficient_memory;
+      Server.Metrics.record_error m Health.Error.Memory_wait_timeout;
       Server.Metrics.record_cache_hit m;
       Server.Metrics.record_compile_peak m 1000);
   Sim.Engine.run_all eng;
   Alcotest.(check int) "completions" 2 (Server.Metrics.total_completions m ());
   Alcotest.(check int) "since t=15" 1 (Server.Metrics.total_completions m ~since:15. ());
-  Alcotest.(check int) "oom" 2 (Server.Metrics.error_count m Server.Metrics.Compile_oom);
+  Alcotest.(check int) "oom" 2 (Server.Metrics.error_count m Health.Error.Insufficient_memory);
   Alcotest.(check int) "total errors" 3 (Server.Metrics.total_errors m);
   Alcotest.(check int) "cache hits" 1 (Server.Metrics.cache_hits m);
   Alcotest.(check (float 1e-9)) "compile mean" 10.

@@ -445,7 +445,9 @@ let test_gov_timeout_error () =
       Compile_gov.end_compile s);
   Sim.Engine.run eng ~until:2_000.;
   match !errors with
-  | [ Compile_gov.Gateway_timeout "big" ] -> ()
+  | [ { Health.Error.code = Health.Error.Memory_wait_timeout; detail = "big" } ]
+    ->
+      ()
   | _ -> Alcotest.fail "expected big-gateway timeout"
 
 let test_gov_disabled_never_blocks () =
@@ -472,7 +474,8 @@ let test_gov_oom_propagates () =
       Compile_gov.end_compile s);
   Sim.Engine.run_all eng;
   match !result with
-  | Some (Error Compile_gov.Out_of_memory) -> ()
+  | Some (Error { Health.Error.code = Health.Error.Insufficient_memory; _ }) ->
+      ()
   | _ -> Alcotest.fail "expected OOM"
 
 let test_gov_memory_freed_on_end () =

@@ -85,7 +85,7 @@ let test_submit_single_query () =
   Sim.Engine.run eng ~until:2_000.;
   (match !result with
   | Some (Ok ()) -> ()
-  | Some (Error e) -> Alcotest.failf "submit failed: %s" (Server.Metrics.error_kind_name e)
+  | Some (Error e) -> Alcotest.failf "submit failed: %s" (Health.Error.to_string e)
   | None -> Alcotest.fail "submit did not finish");
   let m = Server.Dbms.metrics dbms in
   Alcotest.(check int) "one completion" 1 (Server.Metrics.total_completions m ());
