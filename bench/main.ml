@@ -3,6 +3,7 @@
 
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- figure3 overhead ...
+     dune exec bench/main.exe -- --jobs 4 client-sweep   # fan cells over 4 domains
 
    Paper: Baryshnikov et al., "Managing Query Compilation Memory
    Consumption to Improve DBMS Throughput", CIDR 2007. *)
@@ -25,16 +26,26 @@ let throttled_config seed =
 let unthrottled_config seed =
   { (Server.Config.unthrottled ()) with Server.Config.seed }
 
+(* Worker-domain count for experiment grids: --jobs N, or DBSIM_JOBS, or
+   sequential. Every run is an independent cell with its own engine and
+   RNG, and run_grid returns results in submission order, so the printed
+   output is identical at any job count. *)
+let jobs = ref 1
+
+let run_grid cells = Server.Experiment.run_grid ~jobs:!jobs cells
+
+let pair_cells ~clients ~measure ~seed =
+  [
+    Server.Experiment.cell ~config:(throttled_config seed) ~clients ~warmup
+      ~measure ~slice:fig_slice ();
+    Server.Experiment.cell ~config:(unthrottled_config seed) ~clients ~warmup
+      ~measure ~slice:fig_slice ();
+  ]
+
 let run_pair ~clients ~measure ~seed =
-  let on =
-    Server.Experiment.run ~config:(throttled_config seed) ~clients ~warmup
-      ~measure ~slice:fig_slice ()
-  in
-  let off =
-    Server.Experiment.run ~config:(unthrottled_config seed) ~clients ~warmup
-      ~measure ~slice:fig_slice ()
-  in
-  (on, off)
+  match run_grid (pair_cells ~clients ~measure ~seed) with
+  | [ on; off ] -> (on, off)
+  | _ -> assert false
 
 (* ------------------------------------------------------------------ *)
 (* Figure 1: the monitor ladder *)
@@ -201,13 +212,12 @@ let compile_memory () =
 
 let client_sweep () =
   section "T2 - client sweep (paper: max throughput at 30 clients)";
-  let rows =
+  let cells =
     List.concat_map
-      (fun clients ->
-        let on, off = run_pair ~clients ~measure:quick_measure ~seed:42 in
-        [ Server.Report.result_row on; Server.Report.result_row off ])
+      (fun clients -> pair_cells ~clients ~measure:quick_measure ~seed:42)
       [ 10; 20; 25; 30; 35; 40; 45 ]
   in
+  let rows = List.map Server.Report.result_row (run_grid cells) in
   Server.Report.table ~header:Server.Report.result_header rows
 
 (* ------------------------------------------------------------------ *)
@@ -215,33 +225,32 @@ let client_sweep () =
 
 let reliability () =
   section "T3 - reliability (resource errors and first-attempt success)";
-  let rows =
+  let cells =
     List.concat_map
-      (fun clients ->
-        let on, off = run_pair ~clients ~measure:quick_measure ~seed:42 in
-        let row (r : Server.Experiment.result) =
-          let c = r.Server.Experiment.client_stats in
-          let first_attempt =
-            if c.Workload.Client.submitted = 0 then 0.
-            else
-              float_of_int c.Workload.Client.succeeded
-              /. float_of_int c.Workload.Client.attempts
-          in
-          [
-            string_of_int r.Server.Experiment.clients;
-            (if r.Server.Experiment.throttled then "on" else "off");
-            string_of_int r.Server.Experiment.total_errors;
-            String.concat " "
-              (List.filter_map
-                 (fun (k, n) -> if n > 0 then Some (Printf.sprintf "%s=%d" k n) else None)
-                 r.Server.Experiment.errors);
-            Printf.sprintf "%.0f%%" (100. *. first_attempt);
-            string_of_int c.Workload.Client.abandoned;
-          ]
-        in
-        [ row on; row off ])
+      (fun clients -> pair_cells ~clients ~measure:quick_measure ~seed:42)
       [ 30; 35; 40 ]
   in
+  let row (r : Server.Experiment.result) =
+    let c = r.Server.Experiment.client_stats in
+    let first_attempt =
+      if c.Workload.Client.submitted = 0 then 0.
+      else
+        float_of_int c.Workload.Client.succeeded
+        /. float_of_int c.Workload.Client.attempts
+    in
+    [
+      string_of_int r.Server.Experiment.clients;
+      (if r.Server.Experiment.throttled then "on" else "off");
+      string_of_int r.Server.Experiment.total_errors;
+      String.concat " "
+        (List.filter_map
+           (fun (k, n) -> if n > 0 then Some (Printf.sprintf "%s=%d" k n) else None)
+           r.Server.Experiment.errors);
+      Printf.sprintf "%.0f%%" (100. *. first_attempt);
+      string_of_int c.Workload.Client.abandoned;
+    ]
+  in
+  let rows = List.map row (run_grid cells) in
   Server.Report.table
     ~header:[ "clients"; "throttle"; "errors"; "by kind"; "attempt success"; "abandoned" ]
     rows
@@ -372,9 +381,15 @@ let overhead () =
 (* ------------------------------------------------------------------ *)
 (* Ablations *)
 
-let ablation_run ~clients config =
-  Server.Experiment.run ~config ~clients ~warmup ~measure:quick_measure
-    ~slice:fig_slice ()
+(* Ablation variants are independent runs too: fan each section's
+   variants through the same grid. *)
+let ablation_grid ~clients configs =
+  run_grid
+    (List.map
+       (fun config ->
+         Server.Experiment.cell ~config ~clients ~warmup
+           ~measure:quick_measure ~slice:fig_slice ())
+       configs)
 
 let ablation_dynamic () =
   section "A1 - dynamic vs static gateway thresholds (35 clients)";
@@ -382,9 +397,11 @@ let ablation_dynamic () =
   let static_cfg =
     { base with Server.Config.throttle = Qcore.Throttle_config.static_only () }
   in
-  let dyn = ablation_run ~clients:35 base in
-  let sta = ablation_run ~clients:35 static_cfg in
-  let off = ablation_run ~clients:35 (unthrottled_config 42) in
+  let dyn, sta, off =
+    match ablation_grid ~clients:35 [ base; static_cfg; unthrottled_config 42 ] with
+    | [ a; b; c ] -> (a, b, c)
+    | _ -> assert false
+  in
   Server.Report.table
     ~header:("variant" :: Server.Report.result_header)
     [
@@ -406,8 +423,11 @@ let ablation_bestplan () =
         };
     }
   in
-  let with_rescue = ablation_run ~clients:40 base in
-  let without = ablation_run ~clients:40 no_rescue in
+  let with_rescue, without =
+    match ablation_grid ~clients:40 [ base; no_rescue ] with
+    | [ a; b ] -> (a, b)
+    | _ -> assert false
+  in
   Server.Report.table
     ~header:("variant" :: Server.Report.result_header)
     [
@@ -421,9 +441,11 @@ let ablation_ladder () =
   let single =
     { base with Server.Config.throttle = Qcore.Throttle_config.single_gate () }
   in
-  let three = ablation_run ~clients:30 base in
-  let one = ablation_run ~clients:30 single in
-  let zero = ablation_run ~clients:30 (unthrottled_config 42) in
+  let three, one, zero =
+    match ablation_grid ~clients:30 [ base; single; unthrottled_config 42 ] with
+    | [ a; b; c ] -> (a, b, c)
+    | _ -> assert false
+  in
   Server.Report.table
     ~header:("ladder" :: Server.Report.result_header)
     [
@@ -434,13 +456,21 @@ let ablation_ladder () =
 
 let ablation_policy () =
   section "A4 - buffer pool replacement policy (30 clients, throttled)";
+  let policies =
+    [ ("lru-2", Bufpool.Policy.Lru2); ("lru", Bufpool.Policy.Lru);
+      ("clock", Bufpool.Policy.Clock) ]
+  in
+  let results =
+    ablation_grid ~clients:30
+      (List.map
+         (fun (_, policy) ->
+           { (throttled_config 42) with Server.Config.pool_policy = policy })
+         policies)
+  in
   let rows =
-    List.map
-      (fun (name, policy) ->
-        let cfg = { (throttled_config 42) with Server.Config.pool_policy = policy } in
-        name :: Server.Report.result_row (ablation_run ~clients:30 cfg))
-      [ ("lru-2", Bufpool.Policy.Lru2); ("lru", Bufpool.Policy.Lru);
-        ("clock", Bufpool.Policy.Clock) ]
+    List.map2
+      (fun (name, _) r -> name :: Server.Report.result_row r)
+      policies results
   in
   Server.Report.table ~header:("policy" :: Server.Report.result_header) rows
 
@@ -451,25 +481,35 @@ let ablation_policy () =
    as memory shrinks the unthrottled server degrades first. *)
 let memory_sweep () =
   section "Memory-size sweep, 30 clients (where does throttling matter?)";
-  let rows =
+  let sizes = [ 2; 3; 4; 6; 8 ] in
+  let cells =
     List.concat_map
       (fun gib ->
-        let run base =
-          let config =
-            { base with Server.Config.memory_bytes = Dbmem.Units.gib gib }
-          in
-          Server.Experiment.run ~config ~clients:30 ~warmup
-            ~measure:quick_measure ~slice:fig_slice ()
-        in
-        let on = run (throttled_config 42) in
-        let off = run (unthrottled_config 42) in
+        List.map
+          (fun base ->
+            let config =
+              { base with Server.Config.memory_bytes = Dbmem.Units.gib gib }
+            in
+            Server.Experiment.cell ~config ~clients:30 ~warmup
+              ~measure:quick_measure ~slice:fig_slice ())
+          [ throttled_config 42; unthrottled_config 42 ])
+      sizes
+  in
+  let results = run_grid cells in
+  let rec pairs = function
+    | on :: off :: rest -> (on, off) :: pairs rest
+    | _ -> []
+  in
+  let rows =
+    List.concat_map
+      (fun (gib, (on, off)) ->
         let uplift = 100. *. Server.Experiment.uplift on off in
         [
           (Printf.sprintf "%d GiB" gib :: Server.Report.result_row on)
           @ [ Printf.sprintf "%+.0f%%" uplift ];
           (Printf.sprintf "%d GiB" gib :: Server.Report.result_row off) @ [ "" ];
         ])
-      [ 2; 3; 4; 6; 8 ]
+      (List.combine sizes (pairs results))
   in
   Server.Report.table
     ~header:(("memory" :: Server.Report.result_header) @ [ "uplift" ])
@@ -480,14 +520,19 @@ let memory_sweep () =
    star/chain join graphs give the optimizer a different memo shape. *)
 let snowflake () =
   section "Snowflake schema - throttled vs unthrottled, 30 clients";
-  let run config =
-    Server.Experiment.run ~config
-      ~catalog:(Workload.Snowflake.catalog ())
-      ~templates:(Workload.Snowflake.templates ())
-      ~clients:30 ~warmup ~measure:quick_measure ~slice:fig_slice ()
+  (* One catalog/template list shared by both cells: read-only once built. *)
+  let catalog = Workload.Snowflake.catalog () in
+  let templates = Workload.Snowflake.templates () in
+  let cells =
+    List.map
+      (fun config ->
+        Server.Experiment.cell ~config ~catalog ~templates ~clients:30 ~warmup
+          ~measure:quick_measure ~slice:fig_slice ())
+      [ throttled_config 42; unthrottled_config 42 ]
   in
-  let on = run (throttled_config 42) in
-  let off = run (unthrottled_config 42) in
+  let on, off =
+    match run_grid cells with [ a; b ] -> (a, b) | _ -> assert false
+  in
   Server.Report.table
     ~header:("schema" :: Server.Report.result_header)
     [
@@ -503,11 +548,15 @@ let snowflake () =
    machine and starve query execution memory and the buffer pool" (§5.2.1). *)
 let memory_trace () =
   section "Memory timelines - per-component usage, 30 clients";
-  let show label config =
-    let r =
-      Server.Experiment.run ~config ~clients:30 ~warmup:0. ~measure:1800.
-        ~slice:fig_slice ()
-    in
+  let results =
+    run_grid
+      (List.map
+         (fun config ->
+           Server.Experiment.cell ~config ~clients:30 ~warmup:0. ~measure:1800.
+             ~slice:fig_slice ())
+         [ throttled_config 42; unthrottled_config 42 ])
+  in
+  let show label (r : Server.Experiment.result) =
     Printf.printf "
 %s:
 " label;
@@ -528,8 +577,7 @@ let memory_trace () =
           (Dbmem.Units.bytes_to_string (int_of_float (Sim.Stats.Online.max stats))))
       r.Server.Experiment.memory_series
   in
-  show "throttled" (throttled_config 42);
-  show "unthrottled" (unthrottled_config 42);
+  List.iter2 show [ "throttled"; "unthrottled" ] results;
   print_endline
     "
   (unthrottled: the compile clerk swings to multiple GiB and the
@@ -560,16 +608,26 @@ let experiments =
 
 let () =
   Logs.set_level (Some Logs.Error);
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--trace" then begin
-          trace_requested := true;
-          false
-        end
-        else true)
-      (List.tl (Array.to_list Sys.argv))
+  (* DBSIM_JOBS sets the default; an explicit --jobs N wins. *)
+  (match Sys.getenv_opt "DBSIM_JOBS" with
+  | Some _ -> jobs := Parallel.Pool.default_jobs ()
+  | None -> ());
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--trace" :: rest ->
+        trace_requested := true;
+        parse acc rest
+    | ("--jobs" | "-j") :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 ->
+            jobs := j;
+            parse acc rest
+        | _ ->
+            prerr_endline "main: --jobs expects a positive integer";
+            exit 2)
+    | a :: rest -> parse (a :: acc) rest
   in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   let requested =
     match args with _ :: _ -> args | [] -> List.map fst experiments
   in

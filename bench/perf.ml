@@ -1,0 +1,269 @@
+(* Wall-clock + allocation microbenchmark suite: the repo's perf
+   trajectory. Writes BENCH_perf.json (first tracked point; CI uploads it
+   as an artifact per commit) and exits non-zero if the parallel and
+   sequential runs of the experiment grid disagree — the determinism gate
+   for the domain pool.
+
+     dune exec bench/perf.exe                       # full suite
+     dune exec bench/perf.exe -- --quick            # CI smoke variant
+     dune exec bench/perf.exe -- --jobs 4 --out BENCH_perf.json
+
+   Suites: optimizer compile (DP + Cascades on SALES shapes), the
+   sim-engine event loop, a full experiment cell, and the parallel grid
+   speedup with a byte-identity check. *)
+
+let quick = ref false
+let jobs = ref 0 (* 0 = auto *)
+let out_path = ref "BENCH_perf.json"
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+type bench = {
+  name : string;
+  iters : int;
+  wall_s : float;
+  per_op_ns : float;
+  alloc_bytes_per_op : float;
+}
+
+let time_bench ~name ~iters f =
+  (* One warm-up call keeps first-use effects (catalog build, heap
+     growth) out of the measurement. *)
+  ignore (f ());
+  let a0 = Gc.allocated_bytes () in
+  let (), wall_s = wall (fun () -> for _ = 1 to iters do ignore (f ()) done) in
+  let alloc = Gc.allocated_bytes () -. a0 in
+  {
+    name;
+    iters;
+    wall_s;
+    per_op_ns = wall_s *. 1e9 /. float_of_int iters;
+    alloc_bytes_per_op = alloc /. float_of_int iters;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer compile *)
+
+(* SALES instances carry 16-20 relations; the DP baseline is capped at
+   [Dp.max_rels], so benchmark it on the instance truncated to that cap
+   (the join graph is a star, so any prefix stays connected). *)
+let truncate_query q ~max_rels =
+  let open Optimizer in
+  if Query.n_rels q <= max_rels then q
+  else begin
+    let keep = max_rels in
+    Query.make
+      ~id:(q.Query.qid ^ "-trunc")
+      ~rels:
+        (Array.to_list (Array.sub q.Query.rels 0 keep)
+        |> List.map (fun r -> (r.Query.rtable, r.Query.ralias)))
+      ~preds:
+        (List.filter
+           (fun (p : Query.join_pred) ->
+             p.Query.jleft < keep && p.Query.jright < keep)
+           q.Query.preds)
+      ~filters:
+        (List.filter (fun (f : Query.filter) -> f.Query.frel < keep) q.Query.filters)
+      ~agg:
+        (Option.map
+           (fun (a : Query.aggregate) ->
+             {
+               Query.group_by = List.filter (fun (i, _) -> i < keep) a.Query.group_by;
+               sum_cols = List.filter (fun (i, _) -> i < keep) a.Query.sum_cols;
+             })
+           q.Query.agg)
+  end
+
+let optimizer_benches () =
+  let cat = Workload.Sales.catalog () in
+  let templates = Workload.Sales.templates () in
+  let rng = Sim.Rng.create 7 in
+  let q_full = Workload.Template.instance rng (List.hd templates) ~id:1 in
+  let q_dp = truncate_query q_full ~max_rels:Optimizer.Dp.max_rels in
+  let dp_iters = if !quick then 3 else 10 in
+  let casc_iters = if !quick then 25 else 200 in
+  [
+    time_bench ~name:"dp_optimize_14rel" ~iters:dp_iters (fun () ->
+        let card = Optimizer.Card.create cat q_dp in
+        ignore (Optimizer.Dp.optimize Optimizer.Cost.default card));
+    time_bench ~name:"cascades_optimize_sales" ~iters:casc_iters (fun () ->
+        match
+          Optimizer.Cascades.optimize ~env:Optimizer.Env.null
+            Optimizer.Cost.default cat q_full
+        with
+        | Ok r -> ignore r.Optimizer.Cascades.plan
+        | Error _ -> failwith "cascades aborted in benchmark");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Sim-engine event loop *)
+
+let engine_bench () =
+  let n_timers = 64 and horizon = if !quick then 2_000. else 20_000. in
+  let iters = if !quick then 3 else 5 in
+  time_bench ~name:"sim_engine_event_loop" ~iters (fun () ->
+      let eng = Sim.Engine.create ~seed:1 () in
+      for i = 1 to n_timers do
+        (* Staggered periodic timers keep the heap near its working size,
+           like the client/monitor population of a real run. *)
+        ignore
+          (Sim.Engine.every eng
+             ~start:(0.1 *. float_of_int i)
+             ~interval:(1.0 +. (0.01 *. float_of_int i))
+             (fun () -> ()))
+      done;
+      Sim.Engine.run eng ~until:horizon;
+      Sim.Engine.events_executed eng)
+
+(* ------------------------------------------------------------------ *)
+(* Experiment cells and the parallel grid *)
+
+let cell_measure () = if !quick then 180. else 600.
+
+let experiment_bench () =
+  let iters = if !quick then 1 else 2 in
+  time_bench ~name:"experiment_cell" ~iters (fun () ->
+      Server.Experiment.run
+        ~config:{ (Server.Config.default ()) with Server.Config.seed = 42 }
+        ~clients:10 ~warmup:30. ~measure:(cell_measure ()) ~slice:60. ())
+
+type grid_outcome = {
+  cells : int;
+  grid_jobs : int;
+  seq_s : float;
+  par_s : float;
+  speedup : float;
+  identical : bool;
+}
+
+let grid_bench () =
+  (* The paper's grid shape in miniature: throttling on/off at three
+     client counts, one seed — six independent cells. *)
+  let mk config clients =
+    Server.Experiment.cell ~config ~clients ~warmup:30.
+      ~measure:(cell_measure ()) ~slice:60. ()
+  in
+  let cells =
+    List.concat_map
+      (fun clients ->
+        [
+          mk { (Server.Config.default ()) with Server.Config.seed = 42 } clients;
+          mk { (Server.Config.unthrottled ()) with Server.Config.seed = 42 } clients;
+        ])
+      [ 10; 12; 14 ]
+  in
+  let fingerprint results =
+    (* Full structural equality: every series sample, stat and counter. *)
+    Marshal.to_string results [ Marshal.No_sharing ]
+  in
+  let seq_results, seq_s =
+    wall (fun () -> Server.Experiment.run_grid ~jobs:1 cells)
+  in
+  let par_results, par_s =
+    wall (fun () -> Server.Experiment.run_grid ~jobs:!jobs cells)
+  in
+  {
+    cells = List.length cells;
+    grid_jobs = !jobs;
+    seq_s;
+    par_s;
+    speedup = (if par_s > 0. then seq_s /. par_s else nan);
+    identical = String.equal (fingerprint seq_results) (fingerprint par_results);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON output (hand-rolled: no JSON dependency in the image) *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json ~benches ~grid path =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"dbsim-perf/1\",\n";
+  p "  \"quick\": %b,\n" !quick;
+  p "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  p "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i b ->
+      p
+        "    {\"name\": \"%s\", \"iters\": %d, \"wall_s\": %.6f, \
+         \"per_op_ns\": %.1f, \"alloc_bytes_per_op\": %.1f}%s\n"
+        (json_escape b.name) b.iters b.wall_s b.per_op_ns b.alloc_bytes_per_op
+        (if i = List.length benches - 1 then "" else ","))
+    benches;
+  p "  ],\n";
+  p "  \"grid\": {\n";
+  p "    \"cells\": %d,\n" grid.cells;
+  p "    \"jobs\": %d,\n" grid.grid_jobs;
+  p "    \"sequential_s\": %.3f,\n" grid.seq_s;
+  p "    \"parallel_s\": %.3f,\n" grid.par_s;
+  p "    \"speedup\": %.3f,\n" grid.speedup;
+  p "    \"identical_output\": %b\n" grid.identical;
+  p "  }\n";
+  p "}\n";
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Logs.set_level (Some Logs.Error);
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | ("--jobs" | "-j") :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 ->
+            jobs := j;
+            parse rest
+        | _ ->
+            prerr_endline "perf: --jobs expects a positive integer";
+            exit 2)
+    | ("--out" | "-o") :: path :: rest ->
+        out_path := path;
+        parse rest
+    | a :: _ ->
+        Printf.eprintf "perf: unknown argument %S\n" a;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !jobs = 0 then jobs := max 2 (Parallel.Pool.default_jobs ());
+  Printf.printf "dbsim perf suite (%s, grid jobs %d)\n"
+    (if !quick then "quick" else "full")
+    !jobs;
+  let benches = optimizer_benches () @ [ engine_bench (); experiment_bench () ] in
+  List.iter
+    (fun b ->
+      Printf.printf "  %-26s %8.1f ms/op  %10.0f bytes/op  (%d iters)\n" b.name
+        (b.per_op_ns /. 1e6) b.alloc_bytes_per_op b.iters)
+    benches;
+  let grid = grid_bench () in
+  Printf.printf
+    "  grid: %d cells  sequential %.2fs  parallel(%d) %.2fs  speedup %.2fx  \
+     output %s\n"
+    grid.cells grid.seq_s grid.grid_jobs grid.par_s grid.speedup
+    (if grid.identical then "identical" else "DIVERGED");
+  write_json ~benches ~grid !out_path;
+  Printf.printf "wrote %s\n" !out_path;
+  if not grid.identical then begin
+    prerr_endline
+      "perf: parallel grid output differs from sequential run (determinism \
+       violation)";
+    exit 1
+  end

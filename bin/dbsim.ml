@@ -25,6 +25,17 @@ let slice_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "jobs"; "j" ]
+        ~env:(Cmd.Env.info "DBSIM_JOBS")
+        ~doc:
+          "Domains to fan independent runs across (1 = sequential). Each \
+           run is deterministic given its seed, so the output is the same \
+           at any job count.")
+
 let csv_arg =
   Arg.(
     value
@@ -162,9 +173,16 @@ let run_cmd =
     Term.(const action $ clients_arg $ throttle_arg $ warmup_arg $ measure_arg $ slice_arg $ seed_arg $ csv_arg)
 
 let compare_cmd =
-  let action clients warmup measure slice seed csv =
-    let on = run_one ~clients ~throttle:true ~warmup ~measure ~slice ~seed in
-    let off = run_one ~clients ~throttle:false ~warmup ~measure ~slice ~seed in
+  let action clients warmup measure slice seed csv jobs =
+    let cell throttle =
+      Server.Experiment.cell ~config:(config ~throttle ~seed) ~clients ~warmup
+        ~measure ~slice ()
+    in
+    let on, off =
+      match Server.Experiment.run_grid ~jobs [ cell true; cell false ] with
+      | [ on; off ] -> (on, off)
+      | _ -> assert false
+    in
     Server.Report.figure_series
       ~title:(Printf.sprintf "Throughput, %d clients (completions per %.0fs slice)" clients slice)
       ~throttled:on.Server.Experiment.slices
@@ -181,7 +199,9 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Throttled vs unthrottled at one client count (Figures 3-5).")
-    Term.(const action $ clients_arg $ warmup_arg $ measure_arg $ slice_arg $ seed_arg $ csv_arg)
+    Term.(
+      const action $ clients_arg $ warmup_arg $ measure_arg $ slice_arg
+      $ seed_arg $ csv_arg $ jobs_arg)
 
 let sweep_cmd =
   let list_arg =
@@ -190,18 +210,24 @@ let sweep_cmd =
       & opt (list int) [ 10; 20; 30; 35; 40 ]
       & info [ "list" ] ~doc:"Client counts to sweep.")
   in
-  let action counts throttle warmup measure slice seed =
-    let rows =
+  let action counts throttle warmup measure slice seed jobs =
+    let cells =
       List.map
         (fun clients ->
-          Server.Report.result_row
-            (run_one ~clients ~throttle ~warmup ~measure ~slice ~seed))
+          Server.Experiment.cell ~config:(config ~throttle ~seed) ~clients
+            ~warmup ~measure ~slice ())
         counts
+    in
+    let rows =
+      List.map Server.Report.result_row
+        (Server.Experiment.run_grid ~jobs cells)
     in
     Server.Report.table ~header:Server.Report.result_header rows
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Sweep client counts (peak-throughput claim).")
-    Term.(const action $ list_arg $ throttle_arg $ warmup_arg $ measure_arg $ slice_arg $ seed_arg)
+    Term.(
+      const action $ list_arg $ throttle_arg $ warmup_arg $ measure_arg
+      $ slice_arg $ seed_arg $ jobs_arg)
 
 let sql_cmd =
   let count_arg =
@@ -286,7 +312,7 @@ let chaos_cmd =
   in
   let action clients warmup measure slice seed ballast_gib ballast_at
       ballast_hold ballast_steps ballast_step_s storm burst glitch think
-      workload =
+      workload jobs =
     let catalog, templates =
       match workload with
       | `Sales -> (Workload.Sales.catalog (), Workload.Sales.templates ())
@@ -317,18 +343,23 @@ let chaos_cmd =
             { at; duration = window; fail_prob = glitch; clerks = [ "compile" ] } ]
       else []
     in
-    let run resilient =
+    let cell resilient =
       let base =
         if resilient then Server.Config.resilient () else Server.Config.default ()
       in
       let cfg = { base with Server.Config.seed; faults } in
-      Server.Experiment.run ~config:cfg ~catalog ~templates
+      (* The shared catalog/templates are read-only during runs, so the
+         two cells may execute on different domains. *)
+      Server.Experiment.cell ~config:cfg ~catalog ~templates
         ~client_config:
           { Workload.Client.default_config with Workload.Client.think_mean = think }
         ~clients ~warmup ~measure ~slice ()
     in
-    let on = run true in
-    let off = run false in
+    let on, off =
+      match Server.Experiment.run_grid ~jobs [ cell true; cell false ] with
+      | [ on; off ] -> (on, off)
+      | _ -> assert false
+    in
     Printf.printf "Chaos schedule (%d clients, seed %d):\n" clients seed;
     List.iter (fun f -> Printf.printf "  %s\n" (Faultsim.Fault.label f)) faults;
     print_newline ();
@@ -353,7 +384,7 @@ let chaos_cmd =
       const action $ clients_arg $ warmup_arg $ measure_arg $ slice_arg
       $ seed_arg $ ballast_gib $ ballast_at $ ballast_hold $ ballast_steps
       $ ballast_step_s $ storm_arg $ burst_arg $ glitch_arg $ think_arg
-      $ workload_arg)
+      $ workload_arg $ jobs_arg)
 
 let trace_cmd =
   let scenario_arg =
@@ -472,9 +503,20 @@ let health_cmd =
       value
       & opt (some string) None
       & info [ "out"; "o" ] ~docv:"FILE"
-          ~doc:"Also write the health report to FILE (CI artifact).")
+          ~doc:
+            "Also write the health report to FILE (CI artifact). With \
+             several $(b,--seeds), -seedN is inserted before the extension.")
   in
-  let action clients warmup measure drain resilience glitch seed out =
+  let seeds_arg =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "seeds" ]
+          ~doc:
+            "Run the schedule at each of these seeds (overrides --seed); \
+             the independent runs fan out across --jobs domains.")
+  in
+  let action clients warmup measure drain resilience glitch seed out seeds jobs =
     let config =
       if resilience then Server.Config.supervised ()
       else
@@ -484,28 +526,63 @@ let health_cmd =
         }
     in
     let faults = Server.Scenario.chaos_faults ~glitch () in
-    let o =
+    let seeds = match seeds with [] -> [ seed ] | l -> l in
+    let run_seed seed =
       Server.Scenario.run_chaos ~config ~faults ~seed ~clients ~warmup
         ~measure ~drain ()
     in
-    Printf.printf "Chaos schedule (%d clients, seed %d, %s):\n" clients seed
-      (if resilience then "supervision + resilience"
-       else "supervision only");
-    List.iter (fun f -> Printf.printf "  %s\n" (Faultsim.Fault.label f)) o.Server.Scenario.faults;
-    print_newline ();
-    Format.printf "%a@." Health.Report.pp o.Server.Scenario.report;
-    let r = o.Server.Scenario.report in
-    Printf.printf "\n  stuck queries: %d%s\n" (Health.Report.stuck r)
-      (if Health.Report.stuck r = 0 then "" else "  <-- SUPERVISION FAILURE");
-    (match out with
-    | None -> ()
-    | Some path ->
-        let oc = open_out path in
-        let ppf = Format.formatter_of_out_channel oc in
-        Format.fprintf ppf "%a@." Health.Report.pp r;
-        close_out oc;
-        Printf.printf "wrote %s\n" path);
-    if Health.Report.stuck r > 0 then exit 3
+    let outcomes =
+      if jobs <= 1 then List.map run_seed seeds
+      else Parallel.Pool.run ~jobs run_seed seeds
+    in
+    let multi = List.length seeds > 1 in
+    let out_for seed =
+      match out with
+      | None -> None
+      | Some path when not multi -> Some path
+      | Some path -> (
+          match Filename.extension path with
+          | "" -> Some (Printf.sprintf "%s-seed%d" path seed)
+          | ext ->
+              Some
+                (Printf.sprintf "%s-seed%d%s"
+                   (Filename.remove_extension path) seed ext))
+    in
+    let any_stuck = ref false in
+    List.iter2
+      (fun seed o ->
+        Printf.printf "Chaos schedule (%d clients, seed %d, %s):\n" clients seed
+          (if resilience then "supervision + resilience"
+           else "supervision only");
+        List.iter
+          (fun f -> Printf.printf "  %s\n" (Faultsim.Fault.label f))
+          o.Server.Scenario.faults;
+        print_newline ();
+        Format.printf "%a@." Health.Report.pp o.Server.Scenario.report;
+        let r = o.Server.Scenario.report in
+        Printf.printf "\n  stuck queries: %d%s\n" (Health.Report.stuck r)
+          (if Health.Report.stuck r = 0 then ""
+           else "  <-- SUPERVISION FAILURE");
+        (match out_for seed with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            let ppf = Format.formatter_of_out_channel oc in
+            Format.fprintf ppf "%a@." Health.Report.pp r;
+            close_out oc;
+            Printf.printf "wrote %s\n" path);
+        if Health.Report.stuck r > 0 then any_stuck := true)
+      seeds outcomes;
+    if multi then begin
+      let stuck_total =
+        List.fold_left
+          (fun acc o -> acc + Health.Report.stuck o.Server.Scenario.report)
+          0 outcomes
+      in
+      Printf.printf "\n%d seeds run, %d stuck queries total\n"
+        (List.length seeds) stuck_total
+    end;
+    if !any_stuck then exit 3
   in
   Cmd.v
     (Cmd.info "health"
@@ -514,7 +591,8 @@ let health_cmd =
           print the health report with the error-budget table.")
     Term.(
       const action $ clients_arg $ warmup_arg $ measure_arg $ drain_arg
-      $ resilience_arg $ glitch_arg $ seed_arg $ out_arg)
+      $ resilience_arg $ glitch_arg $ seed_arg $ out_arg $ seeds_arg
+      $ jobs_arg)
 
 let info_cmd =
   let action () =

@@ -47,7 +47,7 @@ type group = {
   gset : Relset.t;
   mutable state : group_state;
   mutable best : Plan.t option;
-  mutable splits : (Relset.t * Relset.t) array;
+  mutable splits : split array;
       (* valid (left, right) partitions, filled when expansion starts *)
   mutable outstanding : int;
       (* unfinished tasks owned by this group: 1 for the expansion itself
@@ -56,10 +56,24 @@ type group = {
       (* split tasks of *parent* groups waiting for this group to finish *)
 }
 
+(* Child groups are interned into the split record the first time the
+   split task runs, so re-runs (after a pending child finishes) and the
+   final costing never touch the memo hashtable again. *)
+and split = {
+  sl : Relset.t;
+  sr : Relset.t;
+  mutable child_l : group option;
+  mutable child_r : group option;
+}
+
+(* Tasks carry the group pointer whenever the group is known to exist at
+   push time (Expand and Opt_split are only pushed by their own group),
+   which keeps the per-task hot path free of hashtable lookups.
+   Opt_group keeps the set: creating the group *is* that task's job. *)
 and task =
   | Opt_group of Relset.t
-  | Expand of Relset.t * int (* cursor into the group's split list *)
-  | Opt_split of Relset.t * Relset.t (* (group, left part) *)
+  | Expand of group * int (* cursor into the group's split list *)
+  | Opt_split of group * split
 
 type search = {
   params : params;
@@ -149,36 +163,51 @@ let process_opt_group s set =
           Query.connected_subsets s.q rest
           |> List.filter_map (fun r ->
                  let l = Relset.diff set r in
-                 if Query.connected s.q l then Some (l, r) else None)
+                 if Query.connected s.q l then
+                   Some { sl = l; sr = r; child_l = None; child_r = None }
+                 else None)
         in
         g.splits <- Array.of_list splits;
         s.n_lexprs <- s.n_lexprs + Array.length g.splits;
         alloc s (s.params.lexpr_bytes * Array.length g.splits);
-        push s (Expand (set, 0))
+        push s (Expand (g, 0))
       end
 
-let process_expand s set cursor =
-  let g = Hashtbl.find s.groups set in
+let process_expand s g cursor =
   let stop = min (Array.length g.splits) (cursor + s.params.expand_chunk) in
   for i = cursor to stop - 1 do
-    let l, r = g.splits.(i) in
+    let sp = g.splits.(i) in
     g.outstanding <- g.outstanding + 1;
     (* LIFO: children optimize before the split is costed. *)
-    push s (Opt_split (set, l));
-    push s (Opt_group r);
-    push s (Opt_group l)
+    push s (Opt_split (g, sp));
+    push s (Opt_group sp.sr);
+    push s (Opt_group sp.sl)
   done;
-  if stop < Array.length g.splits then push s (Expand (set, stop))
+  if stop < Array.length g.splits then push s (Expand (g, stop))
   else
     (* Expansion finished: drop its outstanding unit. *)
     group_task_done s g
 
-let process_opt_split s set l =
-  let g = Hashtbl.find s.groups set in
-  let r = Relset.diff set l in
-  let gl = find_or_create s l and gr = find_or_create s r in
-  if gl.state <> Done then gl.pending <- Opt_split (set, l) :: gl.pending
-  else if gr.state <> Done then gr.pending <- Opt_split (set, l) :: gr.pending
+(* By the time a split task runs, both child groups exist: the Expand
+   that pushed the split pushed their Opt_group tasks on top of it, so
+   [find_or_create] here is a pure lookup (it never allocates), and the
+   pointer is cached in the split for any later re-run. *)
+let split_child s sp side =
+  match (side, sp.child_l, sp.child_r) with
+  | `L, Some g, _ | `R, _, Some g -> g
+  | `L, None, _ ->
+      let g = find_or_create s sp.sl in
+      sp.child_l <- Some g;
+      g
+  | `R, _, None ->
+      let g = find_or_create s sp.sr in
+      sp.child_r <- Some g;
+      g
+
+let process_opt_split s g sp =
+  let gl = split_child s sp `L and gr = split_child s sp `R in
+  if gl.state <> Done then gl.pending <- Opt_split (g, sp) :: gl.pending
+  else if gr.state <> Done then gr.pending <- Opt_split (g, sp) :: gr.pending
   else begin
     match (gl.best, gr.best) with
     | Some pl, Some pr ->
@@ -262,8 +291,8 @@ let optimize ?(params = default_params) ~env model cat q =
             if s.cpu_pending >= params.cpu_batch then flush_cpu s;
             (match task with
             | Opt_group set -> process_opt_group s set
-            | Expand (set, cursor) -> process_expand s set cursor
-            | Opt_split (set, l) -> process_opt_split s set l);
+            | Expand (g, cursor) -> process_expand s g cursor
+            | Opt_split (g, sp) -> process_opt_split s g sp);
             loop ()
           end
     in

@@ -23,17 +23,43 @@ let full n =
   if n < 0 || n > 62 then invalid_arg "Relset.full";
   if n = 0 then 0 else (1 lsl n) - 1
 
+(* Count trailing zeros of a nonzero int in constant time: isolate the
+   lowest set bit, then locate it with six mask-and-shift steps (a
+   branch-free-depth binary search — the de Bruijn multiply trick needs a
+   full 64-bit multiply, which OCaml's 63-bit native ints don't give).
+   Replaces the old shift-while loop, which was O(bit index) and made
+   [fold]/[min_elt] quadratic-ish on sets with high members. *)
+let ctz t =
+  let x = ref (t land -t) and n = ref 0 in
+  if !x land 0xFFFFFFFF = 0 then begin
+    n := !n + 32;
+    x := !x lsr 32
+  end;
+  if !x land 0xFFFF = 0 then begin
+    n := !n + 16;
+    x := !x lsr 16
+  end;
+  if !x land 0xFF = 0 then begin
+    n := !n + 8;
+    x := !x lsr 8
+  end;
+  if !x land 0xF = 0 then begin
+    n := !n + 4;
+    x := !x lsr 4
+  end;
+  if !x land 0x3 = 0 then begin
+    n := !n + 2;
+    x := !x lsr 2
+  end;
+  if !x land 0x1 = 0 then incr n;
+  !n
+
 let fold f t init =
   let rec loop t acc =
     if t = 0 then acc
     else begin
       let low = t land -t in
-      let i = ref 0 and v = ref low in
-      while !v > 1 do
-        v := !v lsr 1;
-        incr i
-      done;
-      loop (t lxor low) (f !i acc)
+      loop (t lxor low) (f (ctz low) acc)
     end
   in
   loop t init
@@ -43,13 +69,7 @@ let iter f t = fold (fun i () -> f i) t ()
 
 let min_elt t =
   if t = 0 then invalid_arg "Relset.min_elt: empty";
-  let low = t land -t in
-  let i = ref 0 and v = ref low in
-  while !v > 1 do
-    v := !v lsr 1;
-    incr i
-  done;
-  !i
+  ctz t
 
 (* Standard descending submask enumeration: sub' = (sub - 1) land t. *)
 let first_subset t =
@@ -72,6 +92,24 @@ let iter_strict_subsets t f =
         loop (next_subset t s)
   in
   loop (first_subset t)
+
+(* Gosper's hack: the next larger int with the same population count.
+   Together with the smallest k-bit mask this enumerates all subsets of
+   {0..n-1} of cardinality k in increasing numeric order, with O(1) work
+   and zero allocation per subset. *)
+let iter_of_cardinality ~n ~k f =
+  if n < 0 || n > 62 then invalid_arg "Relset.iter_of_cardinality";
+  if k >= 1 && k <= n then begin
+    let limit = full n in
+    let s = ref ((1 lsl k) - 1) in
+    while !s <= limit do
+      let m = !s in
+      f m;
+      let c = m land -m in
+      let r = m + c in
+      s := ((m lxor r) lsr 2) / c lor r
+    done
+  end
 
 let pp ppf t =
   Format.fprintf ppf "{%s}"

@@ -22,8 +22,19 @@ val members : t -> int list
 val iter : (int -> unit) -> t -> unit
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 
+(** [ctz t] is the index of the lowest set bit of a nonzero [t]
+    (count-trailing-zeros), in constant time. [min_elt] and [fold] are
+    built on it. The result is unspecified for [t = 0]. *)
+val ctz : t -> int
+
 (** [min_elt t] of a nonempty set. *)
 val min_elt : t -> int
+
+(** [iter_of_cardinality ~n ~k f] calls [f] on every subset of
+    [{0, ..., n-1}] with exactly [k] members, in increasing numeric order
+    (Gosper's hack; O(1) and allocation-free per subset). No calls when
+    [k < 1] or [k > n]. *)
+val iter_of_cardinality : n:int -> k:int -> (t -> unit) -> unit
 
 (** [iter_strict_subsets t f] calls [f sub] for every nonempty proper
     subset of [t], in decreasing submask order. *)

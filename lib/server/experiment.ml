@@ -135,6 +135,53 @@ let run ?config ?client_config ?catalog ?templates ?seed ?trace ~clients
     memory_series = Metrics.memory_series metrics;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Grids: independent (config, clients, seed) cells fanned over a domain
+   pool. Each cell is self-contained — [run] builds a fresh engine (own
+   RNG), server, metrics, client stats and trace sink per call, and
+   nothing in the library holds top-level mutable state — so cells can
+   execute on any domain in any order. Results come back in submission
+   order, which keeps grid output byte-identical to a sequential run. *)
+
+type cell = {
+  cell_config : Config.t option;
+  cell_client_config : Workload.Client.config option;
+  cell_catalog : Optimizer.Catalog.t option;
+  cell_templates : Workload.Template.t list option;
+  cell_seed : int option;
+  cell_clients : int;
+  cell_warmup : float;
+  cell_measure : float;
+  cell_slice : float;
+}
+
+let cell ?config ?client_config ?catalog ?templates ?seed ~clients ~warmup
+    ~measure ~slice () =
+  {
+    cell_config = config;
+    cell_client_config = client_config;
+    cell_catalog = catalog;
+    cell_templates = templates;
+    cell_seed = seed;
+    cell_clients = clients;
+    cell_warmup = warmup;
+    cell_measure = measure;
+    cell_slice = slice;
+  }
+
+let run_cell c =
+  run ?config:c.cell_config ?client_config:c.cell_client_config
+    ?catalog:c.cell_catalog ?templates:c.cell_templates ?seed:c.cell_seed
+    ~clients:c.cell_clients ~warmup:c.cell_warmup ~measure:c.cell_measure
+    ~slice:c.cell_slice ()
+
+let run_grid ?pool ?(jobs = 1) cells =
+  match pool with
+  | Some p -> Parallel.Pool.map p run_cell cells
+  | None ->
+      if jobs <= 1 then List.map run_cell cells
+      else Parallel.Pool.run ~jobs run_cell cells
+
 let uplift a b =
   if b.mean_per_slice <= 0. then nan
   else (a.mean_per_slice -. b.mean_per_slice) /. b.mean_per_slice

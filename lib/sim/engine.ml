@@ -25,7 +25,10 @@ let create ?(seed = 42) () =
   {
     now = 0.;
     seq = 0;
-    heap = Heap.create ~cmp:compare_event ();
+    (* A long experiment keeps thousands of timers in flight (one per
+       client plus monitors and faults); pre-size past the doubling
+       ramp. *)
+    heap = Heap.create ~capacity:4096 ~cmp:compare_event ();
     root_rng = Rng.create seed;
     events = 0;
     failures_rev = [];

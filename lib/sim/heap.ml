@@ -2,46 +2,66 @@ type 'a t = {
   cmp : 'a -> 'a -> int;
   mutable data : 'a array;
   mutable size : int;
+  hint : int; (* requested initial capacity, applied at the first add *)
 }
 
-let create ~cmp () = { cmp; data = [||]; size = 0 }
+let create ?(capacity = 0) ~cmp () =
+  if capacity < 0 then invalid_arg "Heap.create: negative capacity";
+  { cmp; data = [||]; size = 0; hint = capacity }
 
 let size t = t.size
 let is_empty t = t.size = 0
 
+(* The element array can only be materialised once we have a value to
+   fill it with, so the capacity hint takes effect at the first [add]. *)
 let grow t x =
   let capacity = Array.length t.data in
   if t.size = capacity then begin
-    let capacity' = max 16 (2 * capacity) in
+    let capacity' = max t.hint (max 16 (2 * capacity)) in
     let data' = Array.make capacity' x in
     Array.blit t.data 0 data' 0 t.size;
     t.data <- data'
   end
 
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
-      let tmp = t.data.(i) in
-      t.data.(i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
-      sift_up t parent
-    end
-  end
+(* Hole-based sifts: instead of swapping the moving element at every
+   level (two writes per step), keep it in hand, shift the displaced
+   entries into the hole, and store it once at its final slot. *)
 
-let rec sift_down t i =
-  let left = (2 * i) + 1 and right = (2 * i) + 2 in
-  let smallest = ref i in
-  if left < t.size && t.cmp t.data.(left) t.data.(!smallest) < 0 then
-    smallest := left;
-  if right < t.size && t.cmp t.data.(right) t.data.(!smallest) < 0 then
-    smallest := right;
-  if !smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
-    sift_down t !smallest
-  end
+let sift_up t i =
+  let x = t.data.(i) in
+  let i = ref i in
+  let moving = ref true in
+  while !moving && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if t.cmp x t.data.(parent) < 0 then begin
+      t.data.(!i) <- t.data.(parent);
+      i := parent
+    end
+    else moving := false
+  done;
+  t.data.(!i) <- x
+
+let sift_down t i =
+  let x = t.data.(i) in
+  let i = ref i in
+  let moving = ref true in
+  while !moving do
+    let left = (2 * !i) + 1 in
+    if left >= t.size then moving := false
+    else begin
+      let right = left + 1 in
+      let child =
+        if right < t.size && t.cmp t.data.(right) t.data.(left) < 0 then right
+        else left
+      in
+      if t.cmp t.data.(child) x < 0 then begin
+        t.data.(!i) <- t.data.(child);
+        i := child
+      end
+      else moving := false
+    end
+  done;
+  t.data.(!i) <- x
 
 let add t x =
   grow t x;

@@ -6,10 +6,14 @@
 
 type 'a t
 
-(** [create ~cmp ()] is an empty heap ordered by [cmp] (smallest first). *)
-val create : cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ?capacity ~cmp ()] is an empty heap ordered by [cmp]
+    (smallest first). [capacity] pre-sizes the element array (applied at
+    the first insertion), so long runs with a known event population
+    skip the doubling-regrowth copies. *)
+val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
 
-(** [add t x] inserts [x]. Amortised O(log n). *)
+(** [add t x] inserts [x]. Amortised O(log n); sifts move a single hole
+    down the tree (one write per level) rather than swapping pairs. *)
 val add : 'a t -> 'a -> unit
 
 (** [pop t] removes and returns the smallest element, if any. *)

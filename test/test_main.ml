@@ -18,4 +18,5 @@ let () =
       ("chaos", Test_chaos.suite);
       ("health", Test_health.suite);
       ("misc", Test_misc.suite);
+      ("parallel", Test_parallel.suite);
     ]

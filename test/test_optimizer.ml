@@ -185,6 +185,86 @@ let test_query_to_sql () =
     [ "SELECT"; "FROM fact AS f"; "WHERE"; "GROUP BY"; "SUM(f.measure)";
       "f.d0_key = d0.d0_key"; "fingerprint star2" ]
 
+(* Reference count-trailing-zeros: the shift-while loop the constant-time
+   implementation replaced. *)
+let ctz_reference t =
+  if t = 0 then invalid_arg "ctz_reference"
+  else begin
+    let i = ref 0 and s = ref t in
+    while !s land 1 = 0 do
+      incr i;
+      s := !s lsr 1
+    done;
+    !i
+  end
+
+let test_relset_ctz () =
+  for i = 0 to 61 do
+    Alcotest.(check int)
+      (Printf.sprintf "ctz (1 lsl %d)" i)
+      i
+      (Relset.ctz (1 lsl i))
+  done;
+  let rng = Sim.Rng.create 99 in
+  for _ = 1 to 1000 do
+    let v = 1 + Sim.Rng.int rng ((1 lsl 40) - 1) in
+    let v = v lsl Sim.Rng.int rng 20 in
+    Alcotest.(check int)
+      (Printf.sprintf "ctz %d" v)
+      (ctz_reference v) (Relset.ctz v)
+  done
+
+let binomial n k =
+  let k = min k (n - k) in
+  let r = ref 1 in
+  for i = 0 to k - 1 do
+    r := !r * (n - i) / (i + 1)
+  done;
+  !r
+
+let test_relset_iter_of_cardinality () =
+  let n = 6 in
+  let all = ref [] in
+  for k = 1 to n + 2 do
+    let masks = ref [] in
+    Relset.iter_of_cardinality ~n ~k (fun m -> masks := m :: !masks);
+    let masks = List.rev !masks in
+    if k > n then
+      Alcotest.(check int) (Printf.sprintf "k=%d > n yields nothing" k) 0
+        (List.length masks)
+    else begin
+      Alcotest.(check int)
+        (Printf.sprintf "C(%d,%d) masks" n k)
+        (binomial n k) (List.length masks);
+      List.iter
+        (fun m ->
+          Alcotest.(check int) "popcount" k (Relset.cardinal m);
+          Alcotest.(check bool) "within full set" true (m <= Relset.full n))
+        masks;
+      Alcotest.(check bool) "ascending order" true
+        (List.sort compare masks = masks);
+      all := masks @ !all
+    end
+  done;
+  (* Every nonempty subset of [full n] appears in exactly one band. *)
+  Alcotest.(check int) "bands partition the powerset" (Relset.full n)
+    (List.length (List.sort_uniq compare !all))
+
+let prop_iter_of_cardinality_matches_bruteforce =
+  QCheck.Test.make
+    ~name:"iter_of_cardinality enumerates each popcount band in order"
+    ~count:100
+    QCheck.(pair (int_range 1 12) (int_range 1 12))
+    (fun (n, k) ->
+      let k = 1 + (k mod n) in
+      let got = ref [] in
+      Relset.iter_of_cardinality ~n ~k (fun m -> got := m :: !got);
+      let expected = ref [] in
+      for m = Relset.full n downto 1 do
+        if Relset.cardinal m = k then expected := m :: !expected
+      done;
+      List.rev !got = !expected)
+
 let prop_relset_subsets_complete =
   QCheck.Test.make ~name:"submask enumeration yields exactly the proper subsets"
     ~count:100 (QCheck.int_range 1 255) (fun s ->
@@ -392,6 +472,74 @@ let test_dp_rejects_large () =
        false
      with Invalid_argument _ -> true)
 
+(* The SALES templates instantiate 15-20 relations, above the DP cap;
+   keep the first [max_rels] (the join graphs are stars rooted at the
+   fact table, so any prefix stays connected) and drop the predicates,
+   filters and aggregate columns that referenced truncated relations. *)
+let truncate_query q ~max_rels =
+  if Query.n_rels q <= max_rels then q
+  else begin
+    let keep = max_rels in
+    Query.make
+      ~id:(q.Query.qid ^ "-trunc")
+      ~rels:
+        (Array.to_list (Array.sub q.Query.rels 0 keep)
+        |> List.map (fun r -> (r.Query.rtable, r.Query.ralias)))
+      ~preds:
+        (List.filter
+           (fun (p : Query.join_pred) ->
+             p.Query.jleft < keep && p.Query.jright < keep)
+           q.Query.preds)
+      ~filters:
+        (List.filter (fun (f : Query.filter) -> f.Query.frel < keep) q.Query.filters)
+      ~agg:
+        (Option.map
+           (fun (a : Query.aggregate) ->
+             {
+               Query.group_by = List.filter (fun (i, _) -> i < keep) a.Query.group_by;
+               sum_cols = List.filter (fun (i, _) -> i < keep) a.Query.sum_cols;
+             })
+           q.Query.agg)
+  end
+
+(* Pinned DP results on the ten SALES templates, captured from the
+   list-based subset enumeration before the per-cardinality Gosper
+   rewrite. The rewrite must fill the same number of connected-subset
+   entries and find plans of identical cost; any drift here means the
+   enumeration changed behaviour, not just speed. *)
+let test_dp_pinned_sales () =
+  let expected =
+    [
+      ("s0_monthly_mix", 14, 8205, 767399.457962);
+      ("s1_quarter_broad", 14, 8205, 1360549.433152);
+      ("s2_promo_deep", 14, 8205, 533260.456099);
+      ("s3_supplier_cost", 14, 8205, 992229.375771);
+      ("s4_halfyear_trend", 14, 8205, 1950813.783837);
+      ("s5_store_detail", 14, 8205, 461396.987387);
+      ("s6_channel_rollup", 14, 8205, 1205648.611234);
+      ("s7_customer_seg", 14, 8205, 918150.252013);
+      ("s8_product_margin", 14, 8205, 1068127.742894);
+      ("s9_yearly_exec", 14, 8205, 1515283.679727);
+    ]
+  in
+  let cat = Workload.Sales.catalog () in
+  let templates = Workload.Sales.templates () in
+  Alcotest.(check int) "ten templates" (List.length expected)
+    (List.length templates);
+  List.iter2
+    (fun t (name, n_rels, entries, cost) ->
+      Alcotest.(check string) "template name" name t.Workload.Template.tname;
+      let rng = Sim.Rng.create 7 in
+      let q = Workload.Template.instance rng t ~id:1 in
+      let q = truncate_query q ~max_rels:Dp.max_rels in
+      Alcotest.(check int) (name ^ " rels") n_rels (Query.n_rels q);
+      let card = Card.create cat q in
+      let plan, got_entries = Dp.optimize_with_stats model card in
+      Alcotest.(check int) (name ^ " dp entries") entries got_entries;
+      Alcotest.(check (float 1e-3)) (name ^ " plan cost") cost
+        (Plan.total_cost plan))
+    templates expected
+
 (* ------------------------------------------------------------------ *)
 (* Cascades mechanics *)
 
@@ -553,6 +701,9 @@ let suite =
   [
     ("relset basics", `Quick, test_relset_basics);
     ("relset subset enumeration", `Quick, test_relset_subset_enumeration);
+    ("relset ctz", `Quick, test_relset_ctz);
+    ("relset iter_of_cardinality", `Quick, test_relset_iter_of_cardinality);
+    ("dp pinned on sales templates", `Slow, test_dp_pinned_sales);
     ("card star", `Quick, test_card_star);
     ("card memoizes", `Quick, test_card_memoizes);
     ("greedy plan well formed", `Quick, test_plan_well_formed_greedy);
@@ -578,6 +729,7 @@ let suite =
     ("with_histogram refreshes stats", `Quick, test_with_histogram_refreshes_stats);
     QCheck_alcotest.to_alcotest prop_histogram_le_monotone;
     QCheck_alcotest.to_alcotest prop_relset_subsets_complete;
+    QCheck_alcotest.to_alcotest prop_iter_of_cardinality_matches_bruteforce;
     QCheck_alcotest.to_alcotest prop_connected_subsets_match_bruteforce;
     QCheck_alcotest.to_alcotest prop_random_star_plans_validate;
   ]

@@ -33,6 +33,24 @@ let test_heap_clear () =
   Heap.clear h;
   Alcotest.(check int) "size" 0 (Heap.size h)
 
+let test_heap_capacity () =
+  (* A capacity hint changes only when the array grows, never what comes
+     out; zero capacity and a negative one are the edge cases. *)
+  let h = Heap.create ~capacity:4 ~cmp:compare () in
+  List.iter (Heap.add h) [ 9; 2; 7; 1; 8; 3 ];
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list int)) "sorted beyond the hint" [ 1; 2; 3; 7; 8; 9 ] (drain []);
+  let h0 = Heap.create ~capacity:0 ~cmp:compare () in
+  Heap.add h0 5;
+  Alcotest.(check (option int)) "zero hint works" (Some 5) (Heap.pop h0);
+  Alcotest.(check bool) "negative capacity rejected" true
+    (try
+       ignore (Heap.create ~capacity:(-1) ~cmp:compare ());
+       false
+     with Invalid_argument _ -> true)
+
 let prop_heap_sorts =
   QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
     QCheck.(list int)
@@ -700,6 +718,7 @@ let suite =
     ("heap empty", `Quick, test_heap_empty);
     ("heap peek", `Quick, test_heap_peek_does_not_remove);
     ("heap clear", `Quick, test_heap_clear);
+    ("heap capacity hint", `Quick, test_heap_capacity);
     ("rng deterministic", `Quick, test_rng_deterministic);
     ("rng seeds differ", `Quick, test_rng_different_seeds);
     ("rng split independent", `Quick, test_rng_split_independent);
