@@ -467,6 +467,37 @@ let trace_cmd =
       const action $ scenario_arg $ out_arg $ trace_clients_arg
       $ trace_measure_arg $ seed_arg)
 
+(* A repeated seed in --seeds would make two runs race to the same
+   per-seed report file, one silently overwriting the other; reject the
+   list up front, before any simulation, with the structured one-line
+   error. *)
+let check_duplicate_seeds seeds =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      if Hashtbl.mem seen s then begin
+        prerr_endline
+          (Printf.sprintf
+             "dbsim: error: duplicate seed %d in --seeds (try 'dbsim --help')"
+             s);
+        exit Cmd.Exit.cli_error
+      end;
+      Hashtbl.add seen s ())
+    seeds
+
+(* FILE as given for a single-seed run, FILE-seedN.ext otherwise. *)
+let seed_out_path ~multi out seed =
+  match out with
+  | None -> None
+  | Some path when not multi -> Some path
+  | Some path -> (
+      match Filename.extension path with
+      | "" -> Some (Printf.sprintf "%s-seed%d" path seed)
+      | ext ->
+          Some
+            (Printf.sprintf "%s-seed%d%s"
+               (Filename.remove_extension path) seed ext))
+
 let health_cmd =
   let clients_arg =
     Arg.(value & opt int 35 & info [ "clients"; "c" ] ~doc:"Number of concurrent clients.")
@@ -526,6 +557,7 @@ let health_cmd =
         }
     in
     let faults = Server.Scenario.chaos_faults ~glitch () in
+    check_duplicate_seeds seeds;
     let seeds = match seeds with [] -> [ seed ] | l -> l in
     let run_seed seed =
       Server.Scenario.run_chaos ~config ~faults ~seed ~clients ~warmup
@@ -536,18 +568,7 @@ let health_cmd =
       else Parallel.Pool.run ~jobs run_seed seeds
     in
     let multi = List.length seeds > 1 in
-    let out_for seed =
-      match out with
-      | None -> None
-      | Some path when not multi -> Some path
-      | Some path -> (
-          match Filename.extension path with
-          | "" -> Some (Printf.sprintf "%s-seed%d" path seed)
-          | ext ->
-              Some
-                (Printf.sprintf "%s-seed%d%s"
-                   (Filename.remove_extension path) seed ext))
-    in
+    let out_for = seed_out_path ~multi out in
     let any_stuck = ref false in
     List.iter2
       (fun seed o ->
@@ -594,6 +615,132 @@ let health_cmd =
       $ resilience_arg $ glitch_arg $ seed_arg $ out_arg $ seeds_arg
       $ jobs_arg)
 
+let tenants_cmd =
+  let warmup_arg =
+    Arg.(value & opt float 400. & info [ "warmup" ] ~doc:"Warm-up seconds (excluded from results).")
+  in
+  let measure_arg =
+    Arg.(value & opt float 1200. & info [ "measure" ] ~doc:"Measured window, seconds.")
+  in
+  let total_gib_arg =
+    Arg.(
+      value & opt float 4.
+      & info [ "total-gib" ]
+          ~doc:"Machine memory split across the tenant pools, GiB.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Also write a per-seed tenant report to FILE (CI artifact). \
+             With several $(b,--seeds), -seedN is inserted before the \
+             extension.")
+  in
+  let seeds_arg =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "seeds" ]
+          ~doc:
+            "Run the experiment at each of these seeds (overrides --seed); \
+             the independent runs fan out across --jobs domains.")
+  in
+  let action warmup measure slice seed seeds total_gib out jobs =
+    check_duplicate_seeds seeds;
+    let seeds = match seeds with [] -> [ seed ] | l -> l in
+    let total_bytes =
+      int_of_float (total_gib *. float_of_int (Dbmem.Units.gib 1))
+    in
+    (* Three configurations per seed — the victim alone at its pool size,
+       the cast under the guaranteed arbiter, and the cast under
+       demand-chasing arbitration with no guarantees — each an
+       independent deterministic run, fanned over the domains. *)
+    let kinds = [ `Solo; `Isolated; `Free ] in
+    let cells =
+      List.concat_map (fun seed -> List.map (fun k -> (seed, k)) kinds) seeds
+    in
+    let run_cell (seed, kind) =
+      match kind with
+      | `Solo ->
+          Server.Tenants.solo ~victim:"victim" ~total_bytes ~seed ~warmup
+            ~measure ~slice ()
+      | `Isolated ->
+          Server.Tenants.run ~mode:Server.Tenants.Isolated ~total_bytes ~seed
+            ~warmup ~measure ~slice ()
+      | `Free ->
+          Server.Tenants.run ~mode:Server.Tenants.Free_for_all ~total_bytes
+            ~seed ~warmup ~measure ~slice ()
+    in
+    let outcomes =
+      if jobs <= 1 then List.map run_cell cells
+      else Parallel.Pool.run ~jobs run_cell cells
+    in
+    let rec group = function
+      | [] -> []
+      | a :: b :: c :: rest -> (a, b, c) :: group rest
+      | _ -> assert false
+    in
+    let multi = List.length seeds > 1 in
+    List.iter2
+      (fun seed (o_solo, o_iso, o_free) ->
+        let open Server.Tenants in
+        Printf.printf "\nNoisy neighbour, seed %d (machine %s):\n" seed
+          (Dbmem.Units.bytes_to_string total_bytes);
+        Server.Report.tenants_section o_solo;
+        Server.Report.tenants_section o_iso;
+        Server.Report.tenants_section o_free;
+        let v = find_tenant o_solo "victim" in
+        let vi = find_tenant o_iso "victim" in
+        let vf = find_tenant o_free "victim" in
+        let r_iso = retention ~shared:vi ~solo:v in
+        let r_free = retention ~shared:vf ~solo:v in
+        Printf.printf
+          "\n  victim retention vs solo: isolated %.0f%%, free-for-all %.0f%%\n"
+          (100. *. r_iso) (100. *. r_free);
+        match seed_out_path ~multi out seed with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            let pr fmt = Printf.fprintf oc fmt in
+            pr "noisy-neighbour report, seed %d, machine %s\n" seed
+              (Dbmem.Units.bytes_to_string total_bytes);
+            let dump (o : outcome) =
+              pr "[%s]\n" (mode_name o.omode);
+              pr
+                "pool,workload,clients,compl_per_slice,total,budget_start,\
+                 budget_end,floor,pool_hit,cache_hit,errors,abandoned\n";
+              List.iter
+                (fun (r : tenant_result) ->
+                  pr "%s,%s,%d,%.2f,%d,%d,%d,%d,%.3f,%.3f,%d,%d\n" r.rname
+                    (workload_name r.rworkload)
+                    r.rclients r.mean_per_slice r.completed r.budget_start
+                    r.budget_end r.floor r.pool_hit_rate r.cache_hit_rate
+                    r.errors r.abandoned)
+                o.tenants;
+              if o.omode <> Static then
+                pr "arbiter ticks=%d rebalances=%d moved=%d reclaimed=%d scarce=%b\n"
+                  o.arb_ticks o.arb_rebalances o.arb_moved o.arb_reclaimed
+                  o.arb_scarce
+            in
+            dump o_solo;
+            dump o_iso;
+            dump o_free;
+            pr "victim_retention isolated=%.3f free_for_all=%.3f\n" r_iso r_free;
+            close_out oc;
+            Printf.printf "wrote %s\n" path)
+      seeds (group outcomes)
+  in
+  Cmd.v
+    (Cmd.info "tenants"
+       ~doc:
+         "Multi-tenant noisy-neighbour experiment: victim solo vs shared \
+          with arbiter isolation vs shared free-for-all.")
+    Term.(
+      const action $ warmup_arg $ measure_arg $ slice_arg $ seed_arg
+      $ seeds_arg $ total_gib_arg $ out_arg $ jobs_arg)
+
 let info_cmd =
   let action () =
     let cfg = Server.Config.default () in
@@ -633,8 +780,8 @@ let () =
   let doc = "Simulated DBMS reproducing CIDR'07 query-compilation throttling" in
   let group =
     Cmd.group (Cmd.info "dbsim" ~doc)
-      [ run_cmd; compare_cmd; sweep_cmd; chaos_cmd; health_cmd; trace_cmd;
-        info_cmd; verbose_cmd; sql_cmd ]
+      [ run_cmd; compare_cmd; sweep_cmd; chaos_cmd; health_cmd; tenants_cmd;
+        trace_cmd; info_cmd; verbose_cmd; sql_cmd ]
   in
   let errbuf = Buffer.create 256 in
   let err = Format.formatter_of_buffer errbuf in

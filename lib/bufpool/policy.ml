@@ -12,16 +12,38 @@ module Lru_impl = struct
 
   let create () = { stamps = Hashtbl.create 256; queue = Queue.create (); clock = 0 }
 
+  (* Every touch pushes a fresh (page, stamp) pair and only [evict] drops
+     stale ones, so a touch-heavy, eviction-free workload grows the queue
+     without bound. Once stale entries outnumber live pages, rebuild the
+     queue from the live entries (FIFO order preserved); the [max _ 32]
+     keeps tiny pools from compacting on every touch. *)
+  let compact t =
+    let fresh = Queue.create () in
+    Queue.iter
+      (fun ((p, stamp) as e) ->
+        match Hashtbl.find_opt t.stamps p with
+        | Some current when current = stamp -> Queue.push e fresh
+        | _ -> ())
+      t.queue;
+    Queue.clear t.queue;
+    Queue.transfer fresh t.queue
+
+  let maybe_compact t =
+    let live = Hashtbl.length t.stamps in
+    if Queue.length t.queue - live > max live 32 then compact t
+
   let insert t p =
     t.clock <- t.clock + 1;
     Hashtbl.replace t.stamps p t.clock;
-    Queue.push (p, t.clock) t.queue
+    Queue.push (p, t.clock) t.queue;
+    maybe_compact t
 
   let touch t p =
     if Hashtbl.mem t.stamps p then begin
       t.clock <- t.clock + 1;
       Hashtbl.replace t.stamps p t.clock;
-      Queue.push (p, t.clock) t.queue
+      Queue.push (p, t.clock) t.queue;
+      maybe_compact t
     end
 
   let mem t p = Hashtbl.mem t.stamps p
@@ -37,6 +59,7 @@ module Lru_impl = struct
         | _ -> evict t)
 
   let size t = Hashtbl.length t.stamps
+  let backlog t = Queue.length t.queue
 end
 
 (* --- CLOCK (second chance): FIFO of nodes with reference bits. --- *)
@@ -73,6 +96,7 @@ module Clock_impl = struct
         Some n.page
 
   let size t = Hashtbl.length t.nodes
+  let backlog t = Queue.length t.ring
 end
 
 (* --- LRU-2: evict the page with the oldest penultimate access (pages
@@ -94,13 +118,33 @@ module Lru2_impl = struct
       clock = 0;
     }
 
+  (* Same lazy-sync bloat as the LRU queue: each touch adds a heap entry
+     and only [evict] discards stale ones. Rebuild the heap from the live
+     entries once stale ones dominate — the comparator is a total order
+     on (t2, t1, page), so re-adding live entries cannot change eviction
+     order. *)
+  let compact t =
+    let entries = Sim.Heap.to_list t.heap in
+    Sim.Heap.clear t.heap;
+    List.iter
+      (fun ((t2, t1, p) as e) ->
+        match Hashtbl.find_opt t.times p with
+        | Some ts when ts.t1 = t1 && ts.t2 = t2 -> Sim.Heap.add t.heap e
+        | _ -> ())
+      entries
+
+  let maybe_compact t =
+    let live = Hashtbl.length t.times in
+    if Sim.Heap.size t.heap - live > max live 32 then compact t
+
   let push t p (ts : times) = Sim.Heap.add t.heap (ts.t2, ts.t1, p)
 
   let insert t p =
     t.clock <- t.clock + 1;
     let ts = { t1 = t.clock; t2 = -1 } in
     Hashtbl.replace t.times p ts;
-    push t p ts
+    push t p ts;
+    maybe_compact t
 
   let touch t p =
     match Hashtbl.find_opt t.times p with
@@ -109,7 +153,8 @@ module Lru2_impl = struct
         t.clock <- t.clock + 1;
         ts.t2 <- ts.t1;
         ts.t1 <- t.clock;
-        push t p ts
+        push t p ts;
+        maybe_compact t
 
   let mem t p = Hashtbl.mem t.times p
 
@@ -124,6 +169,7 @@ module Lru2_impl = struct
         | _ -> evict t)
 
   let size t = Hashtbl.length t.times
+  let backlog t = Sim.Heap.size t.heap
 end
 
 type t =
@@ -165,5 +211,11 @@ let size t =
   | T_lru x -> Lru_impl.size x
   | T_clock x -> Clock_impl.size x
   | T_lru2 x -> Lru2_impl.size x
+
+let backlog t =
+  match t with
+  | T_lru x -> Lru_impl.backlog x
+  | T_clock x -> Clock_impl.backlog x
+  | T_lru2 x -> Lru2_impl.backlog x
 
 let kind = function T_lru _ -> Lru | T_clock _ -> Clock | T_lru2 _ -> Lru2

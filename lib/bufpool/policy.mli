@@ -27,4 +27,11 @@ val mem : t -> page -> bool
 val evict : t -> page option
 
 val size : t -> int
+
+(** Internal bookkeeping entries currently held (queue/ring/heap length,
+    including lazily-cleaned stale ones). Kept within a constant factor
+    of {!size} by periodic compaction — exposed so tests can pin that
+    bound. *)
+val backlog : t -> int
+
 val kind : t -> kind

@@ -124,7 +124,9 @@ let misses t = t.misses
 
 let hit_rate t =
   let total = t.hits + t.misses in
-  if total = 0 then nan else float_of_int t.hits /. float_of_int total
+  (* 0., not nan: see Plancache.Cache.hit_rate — nan here propagates
+     into reports. *)
+  if total = 0 then 0. else float_of_int t.hits /. float_of_int total
 
 let evictions t = t.evictions
 let policy_kind t = Policy.kind t.policy

@@ -50,7 +50,7 @@ val page_bytes : t -> int
 val hits : t -> int
 val misses : t -> int
 
-(** Hit fraction over all reads so far ([nan] before any read). *)
+(** Hit fraction over all reads so far ([0.] before any read). *)
 val hit_rate : t -> float
 
 val evictions : t -> int

@@ -51,6 +51,7 @@ type t = {
   mutable ticks : int;
   mutable timer : Sim.Engine.handle option;
   mutable forced_reclaims : int;
+  mutable predicted_sum : int;
 }
 
 let create ?(trace = Obs.Trace.null) eng manager config =
@@ -67,6 +68,7 @@ let create ?(trace = Obs.Trace.null) eng manager config =
     ticks = 0;
     timer = None;
     forced_reclaims = 0;
+    predicted_sum = 0;
   }
 
 let brokered_bytes t =
@@ -103,6 +105,56 @@ let register t ~name ~clerk ?(weight = 1.) ?(min_bytes = 0) ?demand ?notify
     t.comps_rev;
   c
 
+(* Split [budget] over the [(component, used, predicted)] items
+   proportionally to weighted predicted demand, honouring [min_bytes]
+   floors without overflowing the budget: a component whose proportional
+   share falls below its floor is pinned at the floor and the remainder
+   is re-split among the rest. Terminates because each round pins at
+   least one component. When the floors alone exceed the budget every
+   component gets exactly its floor — the overshoot lands in the
+   manager's reserved slack rather than being invented per-component.
+   Returns targets keyed by component (physical identity). *)
+let split_under_pressure budget items =
+  let rec go budget items acc =
+    match items with
+    | [] -> acc
+    | _ ->
+        let floors =
+          List.fold_left (fun a (c, _, _) -> a + c.min_bytes) 0 items
+        in
+        if floors >= budget then
+          List.fold_left (fun acc (c, _, _) -> (c, c.min_bytes) :: acc) acc items
+        else
+          let demand_sum =
+            List.fold_left
+              (fun a (c, _, p) -> a +. (c.weight *. float_of_int (max 1 p)))
+              0. items
+          in
+          let share (c, _, p) =
+            int_of_float
+              (float_of_int budget
+              *. (c.weight *. float_of_int (max 1 p))
+              /. demand_sum)
+          in
+          let pinned, rest =
+            List.partition (fun ((c, _, _) as it) -> share it < c.min_bytes) items
+          in
+          if pinned = [] then
+            List.fold_left
+              (fun acc ((c, _, _) as it) -> (c, share it) :: acc)
+              acc items
+          else
+            let acc =
+              List.fold_left (fun acc (c, _, _) -> (c, c.min_bytes) :: acc) acc
+                pinned
+            in
+            let pinned_bytes =
+              List.fold_left (fun a (c, _, _) -> a + c.min_bytes) 0 pinned
+            in
+            go (budget - pinned_bytes) rest acc
+  in
+  go budget items []
+
 (* One broker cycle: sample, predict, split the budget, notify. *)
 let tick t =
   let comps = components t in
@@ -132,6 +184,7 @@ let tick t =
     in
     let pressure = total_predicted > budget in
     t.pressure <- pressure;
+    t.predicted_sum <- total_predicted;
     (* 2. Compute targets. *)
     let targets =
       if not pressure then begin
@@ -147,20 +200,13 @@ let tick t =
       end
       else begin
         (* Pressure: distribute the budget proportionally to weighted
-           predicted demand, with per-component floors. *)
-        let demand_sum =
-          List.fold_left
-            (fun a (c, _, p) -> a +. (c.weight *. float_of_int (max 1 p)))
-            0. predictions
-        in
+           predicted demand, pinning components at their [min_bytes]
+           floor and re-splitting the remainder so targets never sum
+           past the budget. *)
+        let granted = split_under_pressure budget predictions in
         List.map
           (fun (c, used, predicted) ->
-            let share =
-              float_of_int budget
-              *. (c.weight *. float_of_int (max 1 predicted))
-              /. demand_sum
-            in
-            (c, used, predicted, max c.min_bytes (int_of_float share)))
+            (c, used, predicted, List.assq c granted))
           predictions
       end
     in
@@ -244,6 +290,7 @@ let stop t =
 
 let under_pressure t = t.pressure
 let ticks t = t.ticks
+let predicted_total t = t.predicted_sum
 let forced_reclaims t = t.forced_reclaims
 let component_name c = c.name
 let last_notification c = c.last

@@ -93,6 +93,12 @@ val under_pressure : t -> bool
 
 val ticks : t -> int
 
+(** Sum of the last tick's per-component demand predictions, bytes
+    ([0] before the first tick). This is the server's aggregate memory
+    appetite — the tenant arbiter samples it as the pool's demand
+    signal. *)
+val predicted_total : t -> int
+
 (** Forced reclaims performed so far (shrink-compliance interventions). *)
 val forced_reclaims : t -> int
 

@@ -8,7 +8,7 @@ type clerk = {
 and donor = { dclerk : clerk; priority : int; shrink : int -> int }
 
 and t = {
-  total : int;
+  mutable total : int;
   mutable used_total : int;
   mutable clerks_rev : clerk list;
   mutable donors : donor list; (* kept sorted by priority *)
@@ -50,6 +50,14 @@ let emit t event =
 let total t = t.total
 let used t = t.used_total
 let available t = t.total - t.used_total
+
+(* Budget resize (the tenant arbiter's lever). Lowering the budget below
+   current usage leaves the manager over-committed — [available] goes
+   negative and further allocations fail — until components free memory
+   or a [demand] pass reclaims the overage through the donors. *)
+let set_total t n =
+  if n <= 0 then invalid_arg "Manager.set_total: total must be > 0";
+  t.total <- n
 
 let create_clerk t name =
   let c = { cname = name; used = 0; peak = 0; owner = t } in

@@ -20,8 +20,16 @@ val create : total:int -> unit -> t
 val total : t -> int
 val used : t -> int
 
-(** Unreserved bytes remaining in the budget. *)
+(** Unreserved bytes remaining in the budget. Negative while the manager
+    is over-committed after a {!set_total} shrink. *)
 val available : t -> int
+
+(** [set_total t n] resizes the physical budget (the tenant arbiter's
+    lever). Growing takes effect immediately; shrinking below current
+    usage leaves the manager over-committed — allocations fail — until
+    components free memory or {!demand}[ t 0] reclaims the overage
+    through the registered donors. *)
+val set_total : t -> int -> unit
 
 (** {1 Clerks} *)
 

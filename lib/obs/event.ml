@@ -22,6 +22,13 @@ type component_sample = {
   verdict : broker_verdict;
 }
 
+type pool_sample = {
+  pool : string;
+  pool_used : int;
+  pool_predicted : int;
+  pool_budget : int;
+}
+
 type t =
   | Compile_begin
   | Compile_alloc of { bytes : int; usage : int }
@@ -50,6 +57,12 @@ type t =
   | Breaker_close of { template : string }
   | Forced_reclaim of { comp : string; wanted : int; freed : int }
   | Gate_widen of { gate : string; slots : int }
+  | Arbiter_tick of {
+      scarce : bool;
+      total : int;
+      pools : pool_sample list;
+    }
+  | Arbiter_reclaim of { pool : string; wanted : int; freed : int }
   | Custom of { cat : string; name : string; args : (string * value) list }
 
 let category = function
@@ -64,6 +77,7 @@ let category = function
   | Gate_widen _ ->
       "health"
   | Forced_reclaim _ -> "broker"
+  | Arbiter_tick _ | Arbiter_reclaim _ -> "arbiter"
   | Custom { cat; _ } -> cat
 
 let name = function
@@ -90,4 +104,6 @@ let name = function
   | Breaker_close _ -> "health:breaker_close"
   | Forced_reclaim _ -> "broker:forced_reclaim"
   | Gate_widen _ -> "health:gate_widen"
+  | Arbiter_tick _ -> "arbiter:tick"
+  | Arbiter_reclaim _ -> "arbiter:reclaim"
   | Custom { cat; name; _ } -> cat ^ ":" ^ name

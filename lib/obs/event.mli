@@ -35,6 +35,16 @@ type component_sample = {
   verdict : broker_verdict;
 }
 
+(** One tenant pool's view in an {!Arbiter_tick}: bytes in use, the
+    arbiter's demand prediction at its horizon, and the physical budget
+    the pool's own manager was (re)sized to. *)
+type pool_sample = {
+  pool : string;
+  pool_used : int;
+  pool_predicted : int;
+  pool_budget : int;
+}
+
 type t =
   | Compile_begin  (** a compilation session opened (span begin) *)
   | Compile_alloc of { bytes : int; usage : int }
@@ -81,11 +91,19 @@ type t =
   | Gate_widen of { gate : string; slots : int }
       (** starvation auditor changed the named gateway to [slots] slots
           (widened while starved, or restored when the queue drained) *)
+  | Arbiter_tick of {
+      scarce : bool;  (** predicted aggregate demand exceeds the machine *)
+      total : int;  (** physical bytes the arbiter splits across pools *)
+      pools : pool_sample list;
+    }  (** one cross-pool rebalance cycle of the tenant memory arbiter *)
+  | Arbiter_reclaim of { pool : string; wanted : int; freed : int }
+      (** the arbiter shrank a donor pool below its usage and pulled the
+          overage back through the pool's reclaim hook *)
   | Custom of { cat : string; name : string; args : (string * value) list }
 
 (** Coarse grouping used by exporters and summaries: one of ["compile"],
     ["gateway"], ["broker"], ["grant"], ["exec"], ["resilience"], ["mem"],
-    ["health"] or the category of the custom event. *)
+    ["health"], ["arbiter"] or the category of the custom event. *)
 val category : t -> string
 
 (** Short display name, e.g. ["gateway:acquired"]. *)

@@ -185,6 +185,29 @@ let lower intern (r : Trace.record) : emitted list =
         ev 'i' "gate_widen"
           ~args:[ ("gate", Event.S gate); ("slots", Event.I slots) ];
       ]
+  | Event.Arbiter_tick { scarce; total; pools } ->
+      let budgets =
+        List.map (fun p -> (p.Event.pool, Event.I p.Event.pool_budget)) pools
+      in
+      let predicted =
+        List.map (fun p -> (p.Event.pool, Event.I p.Event.pool_predicted)) pools
+      in
+      [
+        ev 'C' "arbiter:budgets" ~args:budgets;
+        ev 'C' "arbiter:predicted" ~args:predicted;
+        ev 'i' "arbiter:tick"
+          ~args:[ ("scarce", Event.B scarce); ("total", Event.I total) ];
+      ]
+  | Event.Arbiter_reclaim { pool; wanted; freed } ->
+      [
+        ev 'i' "arbiter_reclaim"
+          ~args:
+            [
+              ("pool", Event.S pool);
+              ("wanted", Event.I wanted);
+              ("freed", Event.I freed);
+            ];
+      ]
   | Event.Custom { cat; name; args } -> [ ev 'i' name ~cat ~args ]
 
 let chrome_event fmt ~first e =
@@ -305,6 +328,18 @@ let fields_of_event = function
       ]
   | Event.Gate_widen { gate; slots } ->
       [ ("gate", Event.S gate); ("slots", Event.I slots) ]
+  | Event.Arbiter_tick { scarce; total; pools } ->
+      [
+        ("scarce", Event.B scarce);
+        ("total", Event.I total);
+        ("npools", Event.I (List.length pools));
+      ]
+  | Event.Arbiter_reclaim { pool; wanted; freed } ->
+      [
+        ("pool", Event.S pool);
+        ("wanted", Event.I wanted);
+        ("freed", Event.I freed);
+      ]
   | Event.Custom { args; _ } -> args
 
 let jsonl fmt records =

@@ -99,7 +99,9 @@ let evictions t = t.evictions
 
 let hit_rate t =
   let total = t.hits + t.misses in
-  if total = 0 then nan else float_of_int t.hits /. float_of_int total
+  (* 0., not nan: a fresh cache has a defined (empty) history, and nan
+     would poison every ratio derived from this one downstream. *)
+  if total = 0 then 0. else float_of_int t.hits /. float_of_int total
 
 let pp ppf t =
   Format.fprintf ppf "plan cache: %d entries (%a), hit rate %.1f%%, %d evictions"

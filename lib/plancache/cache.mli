@@ -33,5 +33,7 @@ val bytes : t -> int
 val hits : t -> int
 val misses : t -> int
 val evictions : t -> int
+
+(** Hit fraction over all lookups so far ([0.] before any lookup). *)
 val hit_rate : t -> float
 val pp : Format.formatter -> t -> unit

@@ -633,6 +633,14 @@ let install_faults ?spawn_burst t =
            ~rng:(Sim.Rng.split (Sim.Engine.rng t.eng))
            ~hooks specs)
 
+(* [demand] frees until [available >= goal]; aiming at current available
+   plus [n] frees ~[n] bytes even while the manager is over-committed
+   (available negative) after an arbiter budget cut. *)
+let reclaim t n =
+  if n <= 0 then 0
+  else
+    Dbmem.Manager.demand t.manager (Dbmem.Manager.available t.manager + n)
+
 (* Snapshot of what the supervision layer saw and did. Meaningful for an
    unsupervised server too: the error budget and completion counts come
    from the metrics, with all supervision counters at zero. *)

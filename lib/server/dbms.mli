@@ -44,6 +44,13 @@ val install_faults :
   t ->
   Faultsim.Injector.t option
 
+(** [reclaim t n] frees roughly [n] bytes through the manager's donor
+    chain (plan cache first, then buffer pool) and returns the bytes
+    actually freed. This is the server's answer to external memory
+    pressure — the tenant arbiter calls it after shrinking the server's
+    budget below its usage. *)
+val reclaim : t -> int -> int
+
 (** Snapshot the supervision layer's books: per-code error budget,
     watchdog / breaker / starvation counters, forced reclaims. [since]
     bounds the completion count and duration (default [0.]). Meaningful

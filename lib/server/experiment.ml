@@ -183,7 +183,9 @@ let run_grid ?pool ?(jobs = 1) cells =
       else Parallel.Pool.run ~jobs run_cell cells
 
 let uplift a b =
-  if b.mean_per_slice <= 0. then nan
+  (* 0., not nan, against a zero baseline — callers print this straight
+     into reports and "nan%" there reads as a bug. *)
+  if b.mean_per_slice <= 0. then 0.
   else (a.mean_per_slice -. b.mean_per_slice) /. b.mean_per_slice
 
 let pp_summary ppf r =

@@ -89,7 +89,8 @@ val run_cell : cell -> result
 val run_grid : ?pool:Parallel.Pool.t -> ?jobs:int -> cell list -> result list
 
 (** Relative throughput uplift of [a] over [b] (e.g. throttled over
-    unthrottled), from mean completions per slice. *)
+    unthrottled), from mean completions per slice. [0.] when the
+    baseline completed nothing. *)
 val uplift : result -> result -> float
 
 val pp_summary : Format.formatter -> result -> unit

@@ -68,7 +68,9 @@ let figure_series ~title ~throttled ~unthrottled =
   Printf.printf
     "  mean completions/slice: throttled %.1f, unthrottled %.1f (uplift %+.0f%%)\n"
     m_on m_off
-    (if m_off > 0. then 100. *. (m_on -. m_off) /. m_off else nan)
+    (* 0., not nan, when the baseline produced nothing: "nan%" in a
+       report reads as a bug and breaks golden-file diffs. *)
+    (if m_off > 0. then 100. *. (m_on -. m_off) /. m_off else 0.)
 
 let result_header =
   [ "clients"; "throttle"; "compl/slice"; "total"; "errors"; "compile s";
@@ -102,6 +104,49 @@ let resilience_row (r : Experiment.result) =
     string_of_int r.Experiment.degraded;
     string_of_int r.Experiment.client_stats.Workload.Client.abandoned;
   ]
+
+(* --- Multi-tenant reports --------------------------------------- *)
+
+let tenant_header =
+  [ "pool"; "workload"; "clients"; "compl/slice"; "total"; "budget";
+    "floor"; "pool hit"; "cache hit"; "errors"; "abandoned" ]
+
+let tenant_row (r : Tenants.tenant_result) =
+  [
+    r.Tenants.rname;
+    Tenants.workload_name r.Tenants.rworkload;
+    string_of_int r.Tenants.rclients;
+    Printf.sprintf "%.1f" r.Tenants.mean_per_slice;
+    string_of_int r.Tenants.completed;
+    Printf.sprintf "%s->%s"
+      (Dbmem.Units.bytes_to_string r.Tenants.budget_start)
+      (Dbmem.Units.bytes_to_string r.Tenants.budget_end);
+    Dbmem.Units.bytes_to_string r.Tenants.floor;
+    Printf.sprintf "%.0f%%" (100. *. r.Tenants.pool_hit_rate);
+    Printf.sprintf "%.0f%%" (100. *. r.Tenants.cache_hit_rate);
+    string_of_int r.Tenants.errors;
+    string_of_int r.Tenants.abandoned;
+  ]
+
+let tenants_section (o : Tenants.outcome) =
+  Printf.printf "\n[%s] seed %d, machine %s, %.0fs warmup + %.0fs measure\n"
+    (Tenants.mode_name o.Tenants.omode)
+    o.Tenants.oseed
+    (Dbmem.Units.bytes_to_string o.Tenants.ototal)
+    o.Tenants.owarmup o.Tenants.omeasure;
+  table ~header:tenant_header (List.map tenant_row o.Tenants.tenants);
+  List.iter
+    (fun (r : Tenants.tenant_result) ->
+      Printf.printf "  %-8s %s\n" r.Tenants.rname
+        (sparkline (Array.map snd r.Tenants.slices)))
+    o.Tenants.tenants;
+  if o.Tenants.omode <> Tenants.Static then
+    Printf.printf
+      "  arbiter: %d ticks, %d rebalances, %s granted, %s reclaimed%s\n"
+      o.Tenants.arb_ticks o.Tenants.arb_rebalances
+      (Dbmem.Units.bytes_to_string o.Tenants.arb_moved)
+      (Dbmem.Units.bytes_to_string o.Tenants.arb_reclaimed)
+      (if o.Tenants.arb_scarce then " [scarce]" else "")
 
 (* The resilience section of a report: per-error-kind tallies plus the
    retry/shed/degrade counters, one block per result. *)

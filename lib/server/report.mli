@@ -30,3 +30,16 @@ val resilience_header : string list
 (** Print the resilience table for a set of results, followed by the
     per-error-kind tallies of any result that recorded errors. *)
 val resilience_section : Experiment.result list -> unit
+
+(** {1 Multi-tenant reports} *)
+
+val tenant_header : string list
+
+(** One row per pool: workload, clients, throughput, budget movement
+    (start [->] end against the guaranteed floor), hit rates, errors. *)
+val tenant_row : Tenants.tenant_result -> string list
+
+(** Print one outcome: mode banner, per-pool table, per-pool throughput
+    sparklines, and the arbiter's tick/rebalance/moved/reclaimed
+    counters when the mode ran one. *)
+val tenants_section : Tenants.outcome -> unit

@@ -1,9 +1,9 @@
 open Optimizer
 
-(* Row counts at roughly scale factor 100. *)
-let sf = 100.
+(* Default is roughly scale factor 100, the paper-scale comparison. *)
+let default_sf = 100.
 
-let tables =
+let tables sf =
   [
     (* (name, rows, fks, measures, pad_width) *)
     ("region", 5., [], [], 80);
@@ -20,11 +20,13 @@ let tables =
       60 );
   ]
 
-let rows_of name =
-  let (_, rows, _, _, _) = List.find (fun (n, _, _, _, _) -> n = name) tables in
+let rows_of sf name =
+  let (_, rows, _, _, _) =
+    List.find (fun (n, _, _, _, _) -> n = name) (tables sf)
+  in
   rows
 
-let catalog () =
+let catalog ?(sf = default_sf) () =
   let cat = Catalog.create () in
   List.iter
     (fun (name, rows, fks, measures, pad) ->
@@ -35,7 +37,7 @@ let catalog () =
              Catalog.min_value = 0;
              max_value = 99;
            }
-        :: List.map (fun fk -> Catalog.int_column (fk ^ "_key") ~distinct:(rows_of fk)) fks
+        :: List.map (fun fk -> Catalog.int_column (fk ^ "_key") ~distinct:(rows_of sf fk)) fks
         @ List.map (fun m -> Catalog.int_column m ~distinct:10_000.) measures
         @ [
             {
@@ -60,7 +62,7 @@ let catalog () =
               { Catalog.idx_name = name ^ "_attr"; idx_columns = [ "attr" ]; clustered = false };
             ];
         })
-    tables;
+    (tables sf);
   cat
 
 (* Join-graph description: relations (table, alias), pk-fk edges given as
@@ -139,7 +141,7 @@ let qshapes =
     };
   ]
 
-let instantiate_qshape shape rng id =
+let instantiate_qshape sf shape rng id =
   let alias_index a =
     let rec find i = function
       | [] -> raise Not_found
@@ -156,7 +158,7 @@ let instantiate_qshape shape rng id =
           jlcol = target ^ "_key";
           jright = alias_index pk_alias;
           jrcol = target ^ "_key";
-          jsel = 1.0 /. rows_of target;
+          jsel = 1.0 /. rows_of sf target;
         })
       shape.qedges
   in
@@ -186,12 +188,12 @@ let instantiate_qshape shape rng id =
     ~id:(Printf.sprintf "%s#%06d" shape.qname id)
     ~rels:shape.qrels ~preds ~filters ~agg
 
-let templates () =
+let templates ?(sf = default_sf) () =
   List.map
     (fun shape ->
       {
         Template.tname = shape.qname;
         weight = 1.0;
-        instantiate = instantiate_qshape shape;
+        instantiate = instantiate_qshape sf shape;
       })
     qshapes

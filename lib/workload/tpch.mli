@@ -4,9 +4,16 @@
     memory) with TPC-H queries "of similar scale" (0-8 joins), reporting
     that SALES compilations use one to two orders of magnitude more memory.
     This module provides a scale-factor-100-like schema and six templates
-    shaped after Q1/Q3/Q5/Q8/Q9/Q10 spanning the 0-8-join band. *)
+    shaped after Q1/Q3/Q5/Q8/Q9/Q10 spanning the 0-8-join band.
 
-val catalog : unit -> Optimizer.Catalog.t
+    Both generators take an optional scale factor (default [100.], the
+    paper-scale comparison). Smaller factors shrink every table
+    proportionally — the multi-tenant experiment runs its victim at
+    [~sf:1.] so TPC-H executions finish in simulated seconds instead of
+    tens of minutes. A catalog and templates must share the same [sf]:
+    the templates bake per-table row counts into join selectivities. *)
+
+val catalog : ?sf:float -> unit -> Optimizer.Catalog.t
 
 (** Six templates ordered by join count (0 ... 8 relations - 1). *)
-val templates : unit -> Template.t list
+val templates : ?sf:float -> unit -> Template.t list

@@ -113,6 +113,31 @@ let test_policy_mem_and_size () =
       Alcotest.(check int) "size after evict" 1 (Policy.size p))
     [ Policy.Lru; Policy.Clock; Policy.Lru2 ]
 
+let test_policy_backlog_bounded () =
+  (* The stamp queues (LRU/LRU2) and the clock ring grow on every touch;
+     compaction must keep them within a constant factor of the resident
+     set instead of one entry per historical access. *)
+  List.iter
+    (fun kind ->
+      let p = Policy.create kind in
+      for i = 0 to 3 do
+        Policy.insert p (page i)
+      done;
+      for t = 0 to 9_999 do
+        Policy.touch p (page (t mod 4))
+      done;
+      let bound = (2 * Policy.size p) + 64 in
+      Alcotest.(check bool)
+        (Printf.sprintf "backlog %d within bound %d" (Policy.backlog p) bound)
+        true
+        (Policy.backlog p <= bound);
+      (* Compaction must not disturb eviction: all four pages drain. *)
+      let rec drain n =
+        match Policy.evict p with Some _ -> drain (n + 1) | None -> n
+      in
+      Alcotest.(check int) "all pages still evictable" 4 (drain 0))
+    [ Policy.Lru; Policy.Lru2 ]
+
 (* Property: every policy returns each inserted page exactly once across
    evictions, regardless of the touch pattern. *)
 let prop_policy_complete_eviction =
@@ -280,6 +305,11 @@ let test_pool_lru2_protects_hot_set () =
     (Printf.sprintf "lru2 hit rate (%.2f) beats lru (%.2f) under scan flood" lru2 lru)
     true (lru2 > lru)
 
+let test_pool_hit_rate_fresh () =
+  (* Zero accesses reads as 0., not 0/0 = nan. *)
+  let _, _, _, pool = make_pool () in
+  Alcotest.(check (float 1e-9)) "fresh" 0. (Pool.hit_rate pool)
+
 let suite =
   [
     ("disk service time", `Quick, test_disk_service_time);
@@ -291,6 +321,8 @@ let suite =
     ("clock second chance", `Quick, test_clock_second_chance);
     ("lru2 scan resistance", `Quick, test_lru2_scan_resistance);
     ("policy mem/size", `Quick, test_policy_mem_and_size);
+    ("policy backlog bounded", `Quick, test_policy_backlog_bounded);
+    ("pool hit rate fresh", `Quick, test_pool_hit_rate_fresh);
     ("pool hit/miss accounting", `Quick, test_pool_hit_miss_accounting);
     ("pool miss costs io", `Quick, test_pool_miss_costs_io_hit_does_not);
     ("pool resident = clerk", `Quick, test_pool_resident_equals_clerk);

@@ -135,6 +135,12 @@ let test_hit_rate () =
   ignore (Cache.lookup cache "z");
   Alcotest.(check (float 1e-9)) "1 of 3" (1. /. 3.) (Cache.hit_rate cache)
 
+let test_hit_rate_fresh_cache () =
+  (* No lookups yet: the rate is a clean 0., never 0/0 = nan (reports
+     format this number — nan would leak into goldens and dashboards). *)
+  let _, cache = make_cache () in
+  Alcotest.(check (float 1e-9)) "fresh" 0. (Cache.hit_rate cache)
+
 (* Invariant: cache bytes always equal the sum of resident plan sizes. *)
 let prop_bytes_consistent =
   QCheck.Test.make ~name:"cache bytes track entries under random ops" ~count:50
@@ -160,5 +166,6 @@ let suite =
     ("self-eviction on full memory", `Quick, test_self_eviction_on_full_memory);
     ("shrink returns freed bytes", `Quick, test_shrink_returns_freed_bytes);
     ("hit rate", `Quick, test_hit_rate);
+    ("hit rate fresh cache", `Quick, test_hit_rate_fresh_cache);
     QCheck_alcotest.to_alcotest prop_bytes_consistent;
   ]

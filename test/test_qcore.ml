@@ -726,6 +726,209 @@ let prop_gov_respects_slot_limits =
       && Compile_gov.active_sessions gov = 0
       && Sim.Engine.failures eng = [])
 
+(* ------------------------------------------------------------------ *)
+(* Arbiter *)
+
+let claim ?(weight = 1.) ?(min_share = 0.) ?(max_share = 1.) predicted =
+  { Arbiter.weight; min_share; max_share; predicted }
+
+let test_arbiter_plan_surplus_lends_weighted () =
+  (* Both pools need their 20 MiB floor; the 60 MiB surplus splits 1:3. *)
+  let total = mib 100 in
+  let bs =
+    Arbiter.plan ~total
+      [
+        claim ~weight:1. ~min_share:0.2 (mib 10);
+        claim ~weight:3. ~min_share:0.2 (mib 10);
+      ]
+  in
+  Alcotest.(check (list int)) "weighted surplus" [ mib 35; mib 65 ] bs
+
+let test_arbiter_plan_scarcity_floors () =
+  (* Demand outstrips the machine: floors are untouchable, the rest is
+     split by weighted unmet demand, and nothing is lost to rounding. *)
+  let total = mib 100 in
+  let cs =
+    [
+      claim ~min_share:0.3 (mib 90);
+      claim ~min_share:0.5 (mib 90);
+    ]
+  in
+  let bs = Arbiter.plan ~total cs in
+  List.iter2
+    (fun c b ->
+      Alcotest.(check bool) "floor honoured" true
+        (b >= int_of_float (c.Arbiter.min_share *. float_of_int total)))
+    cs bs;
+  Alcotest.(check int) "nothing wasted under scarcity" total
+    (List.fold_left ( + ) 0 bs)
+
+let test_arbiter_plan_caps () =
+  (* A capped pool cannot absorb surplus past max_share even when it is
+     the only one demanding memory. *)
+  let bs =
+    Arbiter.plan ~total:(mib 100)
+      [ claim ~max_share:0.1 (mib 90); claim (mib 0) ]
+  in
+  Alcotest.(check int) "cap binds" (mib 10) (List.hd bs)
+
+let prop_arbiter_plan_invariants =
+  QCheck.Test.make ~name:"arbiter plan: sum <= total, floors and caps held"
+    ~count:300
+    QCheck.(
+      pair (int_range 1 10_000)
+        (list_of_size Gen.(int_range 1 8)
+           (quad (int_range 1 10) (int_range 0 100) (int_range 0 100)
+              (int_range 0 20_000))))
+    (fun (total_mib, raw) ->
+      let total = mib total_mib in
+      let n = float_of_int (List.length raw) in
+      let cs =
+        List.map
+          (fun (w, mn, span, pred) ->
+            (* Normalise so the min_shares can sum to at most 1. *)
+            let min_share = float_of_int mn /. 100. /. n in
+            let max_share = Float.min 1. (min_share +. (float_of_int span /. 100.)) in
+            claim ~weight:(float_of_int w) ~min_share ~max_share (mib pred))
+          raw
+      in
+      let bs = Arbiter.plan ~total cs in
+      List.fold_left ( + ) 0 bs <= total
+      && List.for_all2
+           (fun c b ->
+             let fl = int_of_float (c.Arbiter.min_share *. float_of_int total) in
+             let cap =
+               max fl (int_of_float (c.Arbiter.max_share *. float_of_int total))
+             in
+             b >= fl && b <= cap)
+           cs bs)
+
+(* A registered pool for arbiter integration tests: budget changes land
+   in [budget_log]; [reclaim] frees everything asked of it. *)
+let make_arb ?(total = mib 100) ?(interval = 1.0) () =
+  let eng = Sim.Engine.create () in
+  let arb =
+    Arbiter.create eng ~total
+      { Arbiter.interval; horizon = 2.0; window = 4; deadband = mib 1 }
+  in
+  (eng, arb)
+
+let test_arbiter_redistributes_idle_to_pressured () =
+  let eng, arb = make_arb () in
+  let idle =
+    Arbiter.register arb ~name:"idle" ~min_share:0.2 ~budget:(mib 50)
+      ~used:(fun () -> 0)
+      ~set_budget:(fun _ -> ())
+      ~reclaim:(fun _ -> 0)
+      ()
+  in
+  let busy =
+    Arbiter.register arb ~name:"busy" ~budget:(mib 50)
+      ~used:(fun () -> mib 40)
+      ~demand:(fun () -> mib 120)
+      ~set_budget:(fun _ -> ())
+      ~reclaim:(fun _ -> 0)
+      ()
+  in
+  Arbiter.start arb;
+  Sim.Engine.run eng ~until:5.5;
+  Alcotest.(check bool) "ticked" true (Arbiter.ticks arb >= 5);
+  Alcotest.(check bool) "busy grew" true (Arbiter.budget busy > mib 50);
+  Alcotest.(check bool) "idle lent" true (Arbiter.budget idle < mib 50);
+  Alcotest.(check bool) "idle keeps its floor" true
+    (Arbiter.budget idle >= Arbiter.floor_bytes idle);
+  Alcotest.(check bool) "grants fit the machine" true
+    (Arbiter.budget idle + Arbiter.budget busy <= Arbiter.total arb);
+  Alcotest.(check bool) "moved counted" true (Arbiter.moved_bytes arb > 0);
+  Alcotest.(check bool) "scarce flagged" true (Arbiter.scarce arb)
+
+let test_arbiter_reclaim_on_shrink () =
+  (* The hog sits on 60 MiB while a rival demands twice the machine: the
+     hog's budget must fall below its usage and the reclaim hook must be
+     asked for the difference. *)
+  let eng, arb = make_arb () in
+  let reclaim_asked = ref 0 in
+  let hog =
+    Arbiter.register arb ~name:"hog" ~min_share:0.2 ~budget:(mib 60)
+      ~used:(fun () -> mib 60)
+      ~set_budget:(fun _ -> ())
+      ~reclaim:(fun n ->
+        reclaim_asked := !reclaim_asked + n;
+        n)
+      ()
+  in
+  let _rival =
+    Arbiter.register arb ~name:"rival" ~budget:(mib 40)
+      ~used:(fun () -> mib 40)
+      ~demand:(fun () -> mib 200)
+      ~set_budget:(fun _ -> ())
+      ~reclaim:(fun _ -> 0)
+      ()
+  in
+  Arbiter.start arb;
+  Sim.Engine.run eng ~until:3.5;
+  Alcotest.(check bool) "hog squeezed below usage" true
+    (Arbiter.budget hog < mib 60);
+  Alcotest.(check bool) "reclaim hook asked" true (!reclaim_asked > 0);
+  Alcotest.(check int) "freed bytes counted" !reclaim_asked
+    (Arbiter.reclaimed_bytes arb)
+
+let test_arbiter_register_validation () =
+  let _, arb = make_arb () in
+  let reg ?(min_share = 0.) ?(weight = 1.) name =
+    ignore
+      (Arbiter.register arb ~name ~weight ~min_share ~budget:(mib 1)
+         ~used:(fun () -> 0)
+         ~set_budget:(fun _ -> ())
+         ~reclaim:(fun _ -> 0)
+         ())
+  in
+  reg ~min_share:0.7 "a";
+  Alcotest.check_raises "min_shares cannot oversubscribe"
+    (Invalid_argument "Arbiter.register: cumulative min_share exceeds 1")
+    (fun () -> reg ~min_share:0.4 "b");
+  Alcotest.check_raises "weight must be positive"
+    (Invalid_argument "Arbiter.register: weight must be > 0") (fun () ->
+      reg ~weight:0. "c");
+  Arbiter.start arb;
+  Alcotest.check_raises "no registration after start"
+    (Invalid_argument "Arbiter.register: arbiter already started") (fun () ->
+      reg "d")
+
+(* Property for the broker's pressure split: as long as the floors fit
+   the brokered budget, every component keeps at least min_bytes and the
+   targets never oversubscribe the budget. *)
+let prop_broker_pressure_respects_floors =
+  QCheck.Test.make ~name:"broker pressure split: floors kept, budget not oversold"
+    ~count:100
+    QCheck.(
+      list_of_size Gen.(int_range 2 5) (pair (int_range 0 20) (int_range 1 60)))
+    (fun comps ->
+      let _, m, broker = make_broker ~total:(mib 100) () in
+      let cs =
+        List.mapi
+          (fun i (min_mib, used_mib) ->
+            let clerk =
+              Dbmem.Manager.create_clerk m (Printf.sprintf "c%d" i)
+            in
+            let c =
+              Broker.register broker
+                ~name:(Printf.sprintf "c%d" i)
+                ~clerk ~min_bytes:(mib min_mib) ()
+            in
+            (* Over-commit is fine for the split: demand what you like. *)
+            Dbmem.Manager.alloc_exn clerk (min (mib used_mib) (Dbmem.Manager.available m));
+            (c, mib min_mib))
+          comps
+      in
+      Broker.tick broker;
+      let budget = Broker.brokered_bytes broker in
+      let floors = List.fold_left (fun a (_, f) -> a + f) 0 cs in
+      (not (Broker.under_pressure broker))
+      || floors > budget
+      || List.fold_left (fun a (c, _) -> a + Broker.target c) 0 cs <= budget
+         && List.for_all (fun (c, f) -> Broker.target c >= f) cs)
+
 let suite =
   [
     ("trend linear series", `Quick, test_trend_linear_series);
@@ -767,6 +970,14 @@ let suite =
     ("gov stop early requires enabled", `Quick, test_gov_stop_early_requires_enabled);
     ("gov progress priority", `Quick, test_gov_progress_priority);
     ("gov prevents mutual starvation", `Quick, test_gov_prevents_mutual_starvation);
+    ("arbiter plan surplus weighted", `Quick, test_arbiter_plan_surplus_lends_weighted);
+    ("arbiter plan scarcity floors", `Quick, test_arbiter_plan_scarcity_floors);
+    ("arbiter plan caps", `Quick, test_arbiter_plan_caps);
+    ("arbiter redistributes idle to pressured", `Quick, test_arbiter_redistributes_idle_to_pressured);
+    ("arbiter reclaim on shrink", `Quick, test_arbiter_reclaim_on_shrink);
+    ("arbiter register validation", `Quick, test_arbiter_register_validation);
+    QCheck_alcotest.to_alcotest prop_arbiter_plan_invariants;
+    QCheck_alcotest.to_alcotest prop_broker_pressure_respects_floors;
     QCheck_alcotest.to_alcotest prop_trend_slope_recovers_line;
     QCheck_alcotest.to_alcotest prop_gov_respects_slot_limits;
     QCheck_alcotest.to_alcotest prop_gov_thresholds_monotone;

@@ -186,6 +186,82 @@ let test_experiment_uplift_helper () =
   let a = mk 40. and b = mk 30. in
   Alcotest.(check (float 1e-9)) "uplift" (1. /. 3.) (Server.Experiment.uplift a b)
 
+(* Multi-tenant runs: a cheap two-tenant cast so the full machinery
+   (arbiter + per-pool servers) stays fast enough for unit tests. *)
+let tenant_specs () =
+  [
+    {
+      Server.Tenants.tname = "eager";
+      tweight = 1.0;
+      tmin_share = 0.2;
+      tmax_share = 0.9;
+      tclients = 4;
+      tthink_mean = 20.;
+      tworkload = Server.Tenants.Sales;
+    };
+    {
+      Server.Tenants.tname = "calm";
+      tweight = 1.0;
+      tmin_share = 0.2;
+      tmax_share = 0.9;
+      tclients = 3;
+      tthink_mean = 15.;
+      tworkload = Server.Tenants.Light;
+    };
+  ]
+
+let tenants_run ?(mode = Server.Tenants.Isolated) ?(seed = 11) () =
+  Server.Tenants.run ~specs:(tenant_specs ()) ~mode
+    ~total_bytes:(Dbmem.Units.gib 1) ~seed ~warmup:60. ~measure:240. ~slice:60.
+    ()
+
+let test_tenants_budgets_fit_machine () =
+  let o = tenants_run () in
+  let open Server.Tenants in
+  let sum_start =
+    List.fold_left (fun a t -> a + t.budget_start) 0 o.tenants
+  in
+  let sum_end = List.fold_left (fun a t -> a + t.budget_end) 0 o.tenants in
+  Alcotest.(check bool) "initial budgets fit" true (sum_start <= o.ototal);
+  Alcotest.(check bool) "arbitrated budgets fit" true (sum_end <= o.ototal);
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        (t.rname ^ " keeps its floor") true
+        (t.budget_end >= t.floor))
+    o.tenants;
+  Alcotest.(check bool) "arbiter ticked" true (o.arb_ticks > 0);
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) (t.rname ^ " completed work") true (t.completed > 0))
+    o.tenants
+
+let test_tenants_reproducible () =
+  let a = tenants_run ~seed:23 () and b = tenants_run ~seed:23 () in
+  let open Server.Tenants in
+  List.iter2
+    (fun x y ->
+      Alcotest.(check int) (x.rname ^ " completions equal") x.completed
+        y.completed;
+      Alcotest.(check int) (x.rname ^ " budget_end equal") x.budget_end
+        y.budget_end)
+    a.tenants b.tenants;
+  Alcotest.(check int) "same rebalances" a.arb_rebalances b.arb_rebalances
+
+let test_tenants_solo_stream_unchanged () =
+  (* The victim must submit the same query stream alone as it does with
+     neighbours: client RNG is keyed by (seed, tenant name), not by the
+     number of pools sharing the engine. *)
+  let open Server.Tenants in
+  let shared = tenants_run ~seed:5 () in
+  let alone =
+    solo ~specs:(tenant_specs ()) ~victim:"calm"
+      ~total_bytes:(Dbmem.Units.gib 1) ~seed:5 ~warmup:60. ~measure:240.
+      ~slice:60. ()
+  in
+  let s = find_tenant shared "calm" and a = find_tenant alone "calm" in
+  Alcotest.(check int) "same submissions" s.submitted a.submitted
+
 let suite =
   [
     ("end-to-end completes queries", `Slow, test_end_to_end_completes_queries);
@@ -200,4 +276,7 @@ let suite =
     ("gateways exercised under load", `Slow, test_gateways_exercised_under_load);
     ("unthrottled governor untouched", `Quick, test_unthrottled_governor_untouched);
     ("experiment uplift helper", `Quick, test_experiment_uplift_helper);
+    ("tenants budgets fit machine", `Slow, test_tenants_budgets_fit_machine);
+    ("tenants reproducible", `Slow, test_tenants_reproducible);
+    ("tenants solo stream unchanged", `Slow, test_tenants_solo_stream_unchanged);
   ]
