@@ -628,6 +628,45 @@ let noisy_neighbor () =
   | _ -> assert false
 
 (* ------------------------------------------------------------------ *)
+(* Sharded failover: the scale-out version of the paper's thesis. A
+   restarted shard rejoins with an empty plan cache, so every
+   parameterized template recompiles at once; the run keeps most of its
+   no-fault throughput only when the per-shard compile gateways
+   serialise that storm. The gateways-off pair quantifies the cost. *)
+
+let shard_failover () =
+  section "Sharded failover - crash, cold-cache storm, gateways on vs off";
+  let base = Server.Shards.default_config in
+  let crash schedule gateways =
+    { base with Server.Shards.c_schedule = schedule; c_gateways = gateways }
+  in
+  let cells =
+    [
+      crash Server.Shards.No_fault true;
+      crash Server.Shards.Crash_failover true;
+      crash Server.Shards.No_fault false;
+      crash Server.Shards.Crash_failover false;
+    ]
+  in
+  let outcomes =
+    if !jobs <= 1 then List.map Server.Shards.run cells
+    else Parallel.Pool.run ~jobs:!jobs Server.Shards.run cells
+  in
+  match outcomes with
+  | [ on_base; on_crash; off_base; off_crash ] ->
+      Server.Report.shards_section on_base;
+      Server.Report.shards_section ~baseline:on_base on_crash;
+      Server.Report.shards_section off_base;
+      Server.Report.shards_section ~baseline:off_base off_crash;
+      Printf.printf
+        "\n  crash-failover retention vs same-mode no-fault baseline:\n\
+        \    gateways on  %.0f%%\n\
+        \    gateways off %.0f%%\n"
+        (100. *. Server.Shards.retention ~fault:on_crash ~no_fault:on_base)
+        (100. *. Server.Shards.retention ~fault:off_crash ~no_fault:off_base)
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -648,6 +687,7 @@ let experiments =
     ("ablation-ladder", ablation_ladder);
     ("ablation-policy", ablation_policy);
     ("noisy-neighbor", noisy_neighbor);
+    ("shard-failover", shard_failover);
   ]
 
 let () =

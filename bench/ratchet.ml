@@ -1,0 +1,288 @@
+(* Perf ratchet: diff a fresh perf run against the committed baseline and
+   fail CI when a tracked benchmark regresses past the tolerance.
+
+     dune exec bench/ratchet.exe -- BENCH_perf.json fresh.json
+     dune exec bench/ratchet.exe -- --tolerance 0.20 base.json fresh.json
+
+   Allocation per op is compared unconditionally — it is a property of
+   the code, not the machine. Wall time per op is only compared when the
+   two files were produced on machines with the same core count: CI
+   runners are heterogeneous, and a wall "regression" measured on a
+   slower box is noise, not a ratchet violation. Stdlib only: the JSON
+   is parsed with a small recursive-descent reader, no dependencies. *)
+
+(* --- Minimal JSON ------------------------------------------------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Parse (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    String.iter (fun c -> expect c) word;
+    value
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some 'n' ->
+              Buffer.add_char buf '\n';
+              advance ();
+              go ()
+          | Some 't' ->
+              Buffer.add_char buf '\t';
+              advance ();
+              go ()
+          | Some 'u' ->
+              (* Our writer only emits \u00xx control escapes. *)
+              advance ();
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ hex) land 0xff));
+              go ()
+          | Some c ->
+              Buffer.add_char buf c;
+              advance ();
+              go ()
+          | None -> fail "unterminated escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((key, v) :: acc)
+            | _ -> fail "expected , or } in object"
+          in
+          Obj (members [])
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); List [])
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected , or ] in array"
+          in
+          List (elements [])
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let num_field j key =
+  match member key j with Some (Num f) -> Some f | _ -> None
+
+let bool_field j key =
+  match member key j with Some (Bool b) -> Some b | _ -> None
+
+let str_field j key =
+  match member key j with Some (Str s) -> Some s | _ -> None
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* --- Comparison --------------------------------------------------- *)
+
+type point = { wall_ns : float; alloc : float }
+
+let benchmarks_of j =
+  match member "benchmarks" j with
+  | Some (List bs) ->
+      List.filter_map
+        (fun b ->
+          match (str_field b "name", num_field b "per_op_ns",
+                 num_field b "alloc_bytes_per_op")
+          with
+          | Some name, Some wall_ns, Some alloc ->
+              Some (name, { wall_ns; alloc })
+          | _ -> None)
+        bs
+  | _ -> []
+
+let cores_of j = match num_field j "cores" with Some c -> int_of_float c | None -> 0
+
+let () =
+  let tolerance = ref 0.15 in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--tolerance" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some t when t > 0. ->
+            tolerance := t;
+            parse rest
+        | _ ->
+            prerr_endline "ratchet: --tolerance expects a positive float";
+            exit 2)
+    | p :: rest ->
+        paths := p :: !paths;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let baseline_path, fresh_path =
+    match List.rev !paths with
+    | [ b; f ] -> (b, f)
+    | _ ->
+        prerr_endline
+          "usage: ratchet [--tolerance 0.15] <baseline.json> <fresh.json>";
+        exit 2
+  in
+  let load path =
+    try parse_json (read_file path)
+    with
+    | Sys_error e ->
+        Printf.eprintf "ratchet: %s\n" e;
+        exit 2
+    | Parse e ->
+        Printf.eprintf "ratchet: %s: %s\n" path e;
+        exit 2
+  in
+  let baseline = load baseline_path and fresh = load fresh_path in
+  (* Quick and full suites size their per-op workloads differently, so a
+     cross-mode diff is meaningless for wall AND alloc — refuse it rather
+     than report nonsense deltas. *)
+  let mode j = Option.value ~default:false (bool_field j "quick") in
+  if mode baseline <> mode fresh then begin
+    let name q = if q then "quick" else "full" in
+    Printf.eprintf
+      "ratchet: baseline %s is a %s-suite run but %s is %s — per-op \
+       workloads differ between modes; regenerate the baseline in the \
+       same mode\n"
+      baseline_path
+      (name (mode baseline))
+      fresh_path
+      (name (mode fresh));
+    exit 2
+  end;
+  let base_cores = cores_of baseline and fresh_cores = cores_of fresh in
+  let compare_wall = base_cores = fresh_cores && base_cores > 0 in
+  if not compare_wall then
+    Printf.printf
+      "ratchet: baseline has %d cores, fresh has %d — comparing allocations \
+       only\n"
+      base_cores fresh_cores;
+  let base_benches = benchmarks_of baseline in
+  let failures = ref 0 in
+  let check name kind base cur =
+    let ratio = if base > 0. then cur /. base else 1. in
+    let bad = ratio > 1. +. !tolerance in
+    if bad then incr failures;
+    Printf.printf "  %-26s %-8s %12.1f -> %12.1f  %+6.1f%%%s\n" name kind base
+      cur
+      (100. *. (ratio -. 1.))
+      (if bad then "  REGRESSION" else "")
+  in
+  Printf.printf "perf ratchet: tolerance %.0f%%, baseline %s\n"
+    (100. *. !tolerance) baseline_path;
+  List.iter
+    (fun (name, fresh_pt) ->
+      match List.assoc_opt name base_benches with
+      | None -> Printf.printf "  %-26s new benchmark, no baseline\n" name
+      | Some base_pt ->
+          if compare_wall then
+            check name "wall/op" base_pt.wall_ns fresh_pt.wall_ns;
+          check name "alloc/op" base_pt.alloc fresh_pt.alloc)
+    (benchmarks_of fresh);
+  (* Benchmarks deleted from the suite are reported, not failed: the
+     ratchet guards regressions, renames are a review concern. *)
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name (benchmarks_of fresh)) then
+        Printf.printf "  %-26s dropped from fresh run\n" name)
+    base_benches;
+  if !failures > 0 then begin
+    Printf.printf "ratchet: %d regression(s) past %.0f%%\n" !failures
+      (100. *. !tolerance);
+    exit 1
+  end
+  else print_endline "ratchet: no regressions"

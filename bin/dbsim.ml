@@ -741,6 +741,225 @@ let tenants_cmd =
       const action $ warmup_arg $ measure_arg $ slice_arg $ seed_arg
       $ seeds_arg $ total_gib_arg $ out_arg $ jobs_arg)
 
+let shards_cmd =
+  let shards_arg =
+    Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Number of shards (failure domains).")
+  in
+  let clients_arg =
+    Arg.(value & opt int 32 & info [ "clients"; "c" ] ~doc:"Concurrent clients across the router.")
+  in
+  let variants_arg =
+    Arg.(
+      value & opt int 40
+      & info [ "variants" ]
+          ~doc:"Parameterized (cacheable) query templates in the workload.")
+  in
+  let think_arg =
+    Arg.(value & opt float 20. & info [ "think" ] ~doc:"Client think time, seconds (mean).")
+  in
+  let warmup_arg =
+    Arg.(value & opt float 400. & info [ "warmup" ] ~doc:"Warm-up seconds (excluded from results).")
+  in
+  let measure_arg =
+    Arg.(value & opt float 1200. & info [ "measure" ] ~doc:"Measured window, seconds.")
+  in
+  let total_gib_arg =
+    Arg.(
+      value & opt float 8.
+      & info [ "total-gib" ] ~doc:"Machine memory split across the shards, GiB.")
+  in
+  let hedge_arg =
+    Arg.(
+      value & flag
+      & info [ "hedge" ]
+          ~doc:"Hedge submissions whose home shard is browned out.")
+  in
+  let rolling_arg =
+    Arg.(
+      value & flag
+      & info [ "rolling" ]
+          ~doc:"Also run the staggered rolling-restart schedule.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Also write a per-seed shard report to FILE (CI artifact). With \
+             several $(b,--seeds), -seedN is inserted before the extension.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PREFIX"
+          ~doc:
+            "Additionally re-run the crash-failover gateways-on cell with \
+             tracing and write PREFIX-seedN.json Chrome traces (per-shard \
+             lifecycle + budget counters, gateway waits).")
+  in
+  let seeds_arg =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "seeds" ]
+          ~doc:
+            "Run every cell at each of these seeds (overrides --seed); the \
+             independent runs fan out across --jobs domains.")
+  in
+  let action shards clients variants think warmup measure slice total_gib hedge
+      rolling seed seeds out trace_prefix jobs =
+    check_duplicate_seeds seeds;
+    let seeds = match seeds with [] -> [ seed ] | l -> l in
+    let total_bytes =
+      int_of_float (total_gib *. float_of_int (Dbmem.Units.gib 1))
+    in
+    let cfg_of ~seed ~schedule ~gateways =
+      {
+        Server.Shards.c_shards = shards;
+        c_clients = clients;
+        c_variants = variants;
+        c_think = think;
+        c_warmup = warmup;
+        c_measure = measure;
+        c_slice = slice;
+        c_total = total_bytes;
+        c_gateways = gateways;
+        c_hedge = hedge;
+        c_seed = seed;
+        c_schedule = schedule;
+      }
+    in
+    (* Per seed: the healthy baseline, then crash-failover with gateways
+       on and off — the off cell shows what the recompilation storm costs
+       without compile throttling. *)
+    let kinds =
+      [
+        (Server.Shards.No_fault, true);
+        (Server.Shards.Crash_failover, true);
+        (Server.Shards.Crash_failover, false);
+      ]
+      @ (if rolling then [ (Server.Shards.Rolling_restart, true) ] else [])
+      @ if hedge then [ (Server.Shards.Brownout, true) ] else []
+    in
+    let cells =
+      List.concat_map
+        (fun seed ->
+          List.map
+            (fun (schedule, gateways) -> cfg_of ~seed ~schedule ~gateways)
+            kinds)
+        seeds
+    in
+    let run_cell cfg = Server.Shards.run cfg in
+    let outcomes =
+      if jobs <= 1 then List.map run_cell cells
+      else Parallel.Pool.run ~jobs run_cell cells
+    in
+    let per_seed = List.length kinds in
+    let rec group = function
+      | [] -> []
+      | rest ->
+          let rec take n acc = function
+            | l when n = 0 -> (List.rev acc, l)
+            | x :: l -> take (n - 1) (x :: acc) l
+            | [] -> assert false
+          in
+          let seed_outcomes, rest = take per_seed [] rest in
+          seed_outcomes :: group rest
+    in
+    let multi = List.length seeds > 1 in
+    List.iter2
+      (fun seed seed_outcomes ->
+        let open Server.Shards in
+        let baseline = List.hd seed_outcomes in
+        Printf.printf "\nSharded failover, seed %d (machine %s, %d shards):\n"
+          seed
+          (Dbmem.Units.bytes_to_string total_bytes)
+          shards;
+        List.iter
+          (fun o ->
+            if o.o_config.c_schedule = No_fault then
+              Server.Report.shards_section o
+            else Server.Report.shards_section ~baseline o)
+          seed_outcomes;
+        let find schedule gateways =
+          List.find_opt
+            (fun o ->
+              o.o_config.c_schedule = schedule
+              && o.o_config.c_gateways = gateways)
+            seed_outcomes
+        in
+        let ret o = 100. *. retention ~fault:o ~no_fault:baseline in
+        (match (find Crash_failover true, find Crash_failover false) with
+        | Some on, Some off ->
+            Printf.printf
+              "\n  crash-failover retention vs no-fault: gateways on %.0f%%, \
+               off %.0f%%\n"
+              (ret on) (ret off)
+        | _ -> ());
+        (match seed_out_path ~multi out seed with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            let pr fmt = Printf.fprintf oc fmt in
+            pr "sharded-failover report, seed %d, machine %s, %d shards\n"
+              seed
+              (Dbmem.Units.bytes_to_string total_bytes)
+              shards;
+            List.iter
+              (fun o ->
+                pr "[%s gateways=%b hedge=%b]\n"
+                  (schedule_name o.o_config.c_schedule)
+                  o.o_config.c_gateways o.o_config.c_hedge;
+                pr
+                  "shard,state,crashes,accepted,finished,lost,refused,\
+                   recompiles,cache_hit,budget_end\n";
+                List.iter
+                  (fun (r : shard_result) ->
+                    pr "%s,%s,%d,%d,%d,%d,%d,%d,%.3f,%d\n" r.sh_name
+                      r.sh_final_state r.sh_crashes r.sh_accepted r.sh_finished
+                      r.sh_lost r.sh_refused r.sh_recompiles r.sh_cache_hit_rate
+                      r.sh_budget_end)
+                  o.shard_results;
+                pr
+                  "router submitted=%d ok=%d failed=%d rejected=%d spills=%d \
+                   hedges=%d hedge_wins=%d retries=%d p50_ms=%.1f p99_ms=%.1f\n"
+                  o.submitted o.ok o.failed o.rejected o.spills o.hedges
+                  o.hedge_wins o.retries o.p50_ms o.p99_ms;
+                pr
+                  "arbiter ticks=%d rebalances=%d moved=%d reclaimed=%d \
+                   max_budget_sum=%d\n"
+                  o.arb_ticks o.arb_rebalances o.arb_moved o.arb_reclaimed
+                  o.max_budget_sum;
+                if o.o_config.c_schedule <> No_fault then
+                  pr "retention=%.3f\n" (retention ~fault:o ~no_fault:baseline))
+              seed_outcomes;
+            close_out oc;
+            Printf.printf "wrote %s\n" path);
+        match trace_prefix with
+        | None -> ()
+        | Some prefix ->
+            let trace = Obs.Trace.create () in
+            ignore
+              (Server.Shards.run ~trace
+                 (cfg_of ~seed ~schedule:Crash_failover ~gateways:true));
+            let path = Printf.sprintf "%s-seed%d.json" prefix seed in
+            Obs.Export.chrome_to_file path (Obs.Trace.records trace);
+            Printf.printf "wrote %s\n" path)
+      seeds (group outcomes)
+  in
+  Cmd.v
+    (Cmd.info "shards"
+       ~doc:
+         "Sharded scale-out experiment: health-aware routing over N failure \
+          domains, crash-failover with cold-cache recompilation storms, \
+          with and without compile gateways.")
+    Term.(
+      const action $ shards_arg $ clients_arg $ variants_arg $ think_arg
+      $ warmup_arg $ measure_arg $ slice_arg $ total_gib_arg $ hedge_arg
+      $ rolling_arg $ seed_arg $ seeds_arg $ out_arg $ trace_arg $ jobs_arg)
+
 let info_cmd =
   let action () =
     let cfg = Server.Config.default () in
@@ -781,7 +1000,7 @@ let () =
   let group =
     Cmd.group (Cmd.info "dbsim" ~doc)
       [ run_cmd; compare_cmd; sweep_cmd; chaos_cmd; health_cmd; tenants_cmd;
-        trace_cmd; info_cmd; verbose_cmd; sql_cmd ]
+        shards_cmd; trace_cmd; info_cmd; verbose_cmd; sql_cmd ]
   in
   let errbuf = Buffer.create 256 in
   let err = Format.formatter_of_buffer errbuf in

@@ -84,6 +84,7 @@ type pool = {
   trend : Trend.t;
   floor_b : int;
   mutable budget : int;
+  mutable offline : bool;
 }
 
 type t = {
@@ -128,6 +129,13 @@ let pools t = List.rev t.pools_rev
 let pool_name p = p.name
 let budget p = p.budget
 let floor_bytes p = p.floor_b
+let offline p = p.offline
+
+(* Marking a pool offline (its shard is down) strips its floor and cap at
+   the next tick so the whole share is lent to survivors; marking it back
+   online restores the registered claim and the normal shrink-before-grow
+   apply claws the memory back from the borrowers. *)
+let set_offline p v = p.offline <- v
 
 let register t ~name ?(weight = 1.0) ?(min_share = 0.) ?(max_share = 1.0)
     ~budget ~used ?demand ~set_budget ~reclaim () =
@@ -156,6 +164,7 @@ let register t ~name ?(weight = 1.0) ?(min_share = 0.) ?(max_share = 1.0)
       trend = Trend.create ~window:t.cfg.window ();
       floor_b = int_of_float (min_share *. float_of_int t.a_total);
       budget;
+      offline = false;
     }
   in
   t.pools_rev <- p :: t.pools_rev;
@@ -175,26 +184,38 @@ let tick t =
     let predicted =
       List.map
         (fun p ->
-          let u = p.used () in
-          let d = match p.demand with Some f -> max u (f ()) | None -> u in
-          Trend.observe p.trend ~time:now (float_of_int d);
-          let pr =
-            match Trend.predict p.trend ~horizon:t.cfg.horizon with
-            | Some v -> int_of_float v
-            | None -> d
-          in
-          max d pr)
+          if p.offline then 0
+            (* Down pool: no demand, and no trend observation either — a
+               run of zeros would otherwise poison the slope and predict
+               negative demand for a while after the shard rejoins. *)
+          else begin
+            let u = p.used () in
+            let d = match p.demand with Some f -> max u (f ()) | None -> u in
+            Trend.observe p.trend ~time:now (float_of_int d);
+            let pr =
+              match Trend.predict p.trend ~horizon:t.cfg.horizon with
+              | Some v -> int_of_float v
+              | None -> d
+            in
+            max d pr
+          end)
         ps
     in
     let claims =
       List.map2
         (fun p predicted ->
-          {
-            weight = p.weight;
-            min_share = p.min_share;
-            max_share = p.max_share;
-            predicted;
-          })
+          if p.offline then
+            (* Floor and cap both collapse to zero: the plan lends the
+               pool's entire share out, and only the one-byte keepalive
+               below stands between the dead manager and a zero budget. *)
+            { weight = p.weight; min_share = 0.; max_share = 0.; predicted = 0 }
+          else
+            {
+              weight = p.weight;
+              min_share = p.min_share;
+              max_share = p.max_share;
+              predicted;
+            })
         ps predicted
     in
     let need_sum = List.fold_left ( + ) 0 predicted in
@@ -280,8 +301,10 @@ let pp ppf t =
     (if t.scarce then " [scarce]" else "");
   List.iter
     (fun p ->
-      Format.fprintf ppf "  %-10s budget %7.1f MiB (floor %7.1f MiB) used %7.1f MiB@,"
+      Format.fprintf ppf
+        "  %-10s budget %7.1f MiB (floor %7.1f MiB) used %7.1f MiB%s@,"
         p.name (mib p.budget) (mib p.floor_b)
-        (mib (p.used ())))
+        (mib (p.used ()))
+        (if p.offline then " [offline]" else ""))
     (pools t);
   Format.fprintf ppf "@]"

@@ -128,4 +128,14 @@ val budget : pool -> int
 (** The pool's guaranteed floor, bytes ([floor (min_share * total)]). *)
 val floor_bytes : pool -> int
 
+(** [set_offline p true] marks the pool's owner (a crashed shard) as down:
+    from the next tick its floor and cap collapse to zero, so the whole
+    share is lent to the surviving pools and only a one-byte keepalive
+    budget remains. [set_offline p false] restores the registered claim;
+    the normal shrink-before-grow apply then claws the loan back from the
+    borrowers before regrowing the rejoined pool. *)
+val set_offline : pool -> bool -> unit
+
+val offline : pool -> bool
+
 val pp : Format.formatter -> t -> unit

@@ -76,16 +76,22 @@ let free_bytes c n =
   c.owner.used_total <- c.owner.used_total - n
 
 (* Ask donors, cheapest-to-shrink first, until the manager has [target_free]
-   bytes free. Donors shrink through [free_bytes] on their own clerk. *)
-let reclaim t ~target_free =
+   bytes free. Donors shrink through [free_bytes] on their own clerk.
+   [except] omits one clerk's donor from the walk: an allocation must not
+   be satisfied by shrinking the requester itself (a cache evicting its
+   own entries to admit a new one gains nothing). *)
+let reclaim ?except t ~target_free =
   let rec ask donors freed =
     if available t >= target_free then freed
     else
       match donors with
       | [] -> freed
       | d :: rest ->
+          let skip = match except with Some c -> c == d.dclerk | None -> false in
           let want = target_free - available t in
-          let got = if d.dclerk.used = 0 then 0 else d.shrink want in
+          let got =
+            if skip || d.dclerk.used = 0 then 0 else d.shrink want
+          in
           ask rest (freed + got)
   in
   let wanted = target_free - available t in
@@ -107,6 +113,11 @@ let alloc c n =
       t.faulted_allocs <- t.faulted_allocs + 1;
       Error `Out_of_memory
   | _ ->
+  (* Two-pass reclaim: first spare the requester's own donor (so a cache
+     insert draws from the other donors, typically the buffer pool), then
+     fall back to the full walk — a donor growing at a full machine still
+     recycles its own memory exactly as before. *)
+  if available t < n then ignore (reclaim ~except:c t ~target_free:n);
   if available t < n then ignore (reclaim t ~target_free:n);
   if available t < n then begin
     t.oom_count <- t.oom_count + 1;

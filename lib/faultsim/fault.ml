@@ -24,6 +24,13 @@ type spec =
       fail_prob : float;
       clerks : string list;
     }
+  | Shard_crash of { at : float; shard : int; restart_delay : float }
+  | Shard_stall of {
+      at : float;
+      shard : int;
+      duration : float;
+      slow_factor : float;
+    }
 
 let validate = function
   | Memory_ballast { at; bytes; hold; ramp_steps; step_s } ->
@@ -48,6 +55,16 @@ let validate = function
       if duration <= 0. then invalid_arg "Fault: glitch duration <= 0";
       if fail_prob < 0. || fail_prob > 1. then
         invalid_arg "Fault: glitch fail_prob not in [0,1]"
+  | Shard_crash { at; shard; restart_delay } ->
+      if at < 0. then invalid_arg "Fault: crash at < 0";
+      if shard < 0 then invalid_arg "Fault: crash shard < 0";
+      if restart_delay <= 0. then invalid_arg "Fault: crash restart_delay <= 0"
+  | Shard_stall { at; shard; duration; slow_factor } ->
+      if at < 0. then invalid_arg "Fault: stall at < 0";
+      if shard < 0 then invalid_arg "Fault: stall shard < 0";
+      if duration <= 0. then invalid_arg "Fault: stall duration <= 0";
+      if slow_factor <= 0. || slow_factor > 1. then
+        invalid_arg "Fault: stall slow_factor not in (0,1]"
 
 let label = function
   | Memory_ballast { at; bytes; _ } ->
@@ -58,14 +75,20 @@ let label = function
       Printf.sprintf "burst(%d@%.0fs)" clients at
   | Alloc_glitch { at; fail_prob; _ } ->
       Printf.sprintf "alloc-glitch(p=%.2f@%.0fs)" fail_prob at
+  | Shard_crash { at; shard; _ } ->
+      Printf.sprintf "shard-crash(%d@%.0fs)" shard at
+  | Shard_stall { at; shard; _ } ->
+      Printf.sprintf "shard-stall(%d@%.0fs)" shard at
 
 let window = function
   | Memory_ballast { at; hold; ramp_steps; step_s; _ } ->
       (at, at +. (float_of_int ramp_steps *. step_s) +. hold)
   | Disk_storm { at; duration; _ }
   | Client_burst { at; duration; _ }
-  | Alloc_glitch { at; duration; _ } ->
+  | Alloc_glitch { at; duration; _ }
+  | Shard_stall { at; duration; _ } ->
       (at, at +. duration)
+  | Shard_crash { at; restart_delay; _ } -> (at, at +. restart_delay)
 
 (* The slow default ramp matters: a spike that grabs everything at once
    only gets what is instantaneously free, while a ramp keeps absorbing
@@ -93,3 +116,11 @@ let pp ppf s =
         fail_prob
         (match clerks with [] -> "all clerks" | l -> String.concat "," l)
         start stop
+  | Shard_crash { shard; restart_delay; _ } ->
+      Format.fprintf ppf
+        "shard %d crash at %.0fs, restarts after %.0fs (cold cache)" shard
+        start restart_delay
+  | Shard_stall { shard; slow_factor; _ } ->
+      Format.fprintf ppf
+        "shard %d brownout x%.2f service rate, active %.0f-%.0fs" shard
+        slow_factor start stop

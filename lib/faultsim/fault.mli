@@ -44,6 +44,26 @@ type spec =
       (** Transient allocation failures: while active, clerk allocations
           fail spuriously with the given probability (flaky commit path,
           external process stealing pages faster than accounting sees). *)
+  | Shard_crash of {
+      at : float;
+      shard : int;  (** shard index in the router's shard list *)
+      restart_delay : float;  (** seconds down before the restart begins *)
+    }
+      (** Hard failure of one shard in a sharded deployment: in-flight
+          connections are lost, placements refuse new work, and after
+          [restart_delay] the shard rejoins with an {e empty} plan cache —
+          the cold-cache recompilation storm the compile gateways must
+          absorb. Only meaningful when a router installs the shard hooks;
+          the single-engine server ignores it. *)
+  | Shard_stall of {
+      at : float;
+      shard : int;
+      duration : float;
+      slow_factor : float;  (** multiplies the shard's service rate, (0,1] *)
+    }
+      (** Brownout: the shard stays up but serves at [slow_factor] of its
+          normal rate (GC storm, noisy neighbour, packet loss). Routers
+          treat a browned-out shard as hedgeable rather than dead. *)
 
 (** [validate s] raises [Invalid_argument] on nonsensical parameters
     (negative times, zero ballast, probabilities outside [0,1], ...). *)

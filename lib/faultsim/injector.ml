@@ -6,6 +6,8 @@ type hooks = {
   alloc_fault_set : (string -> int -> bool) -> unit;
   alloc_fault_clear : unit -> unit;
   burst_clients : clients:int -> think_mean:float -> until:float -> unit;
+  shard_crash : shard:int -> restart_delay:float -> unit;
+  shard_stall : shard:int -> duration:float -> slow_factor:float -> unit;
 }
 
 let null_hooks =
@@ -17,6 +19,8 @@ let null_hooks =
     alloc_fault_set = (fun _ -> ());
     alloc_fault_clear = (fun () -> ());
     burst_clients = (fun ~clients:_ ~think_mean:_ ~until:_ -> ());
+    shard_crash = (fun ~shard:_ ~restart_delay:_ -> ());
+    shard_stall = (fun ~shard:_ ~duration:_ ~slow_factor:_ -> ());
   }
 
 type t = {
@@ -135,7 +139,13 @@ let install eng ~rng ~hooks specs =
               t.hooks.burst_clients ~clients ~think_mean
                 ~until:(at +. duration)
           | Fault.Alloc_glitch { duration; fail_prob; clerks; _ } ->
-              run_glitch t ~rng:spec_rng ~duration ~fail_prob ~clerks);
+              run_glitch t ~rng:spec_rng ~duration ~fail_prob ~clerks
+          | Fault.Shard_crash { shard; restart_delay; _ } ->
+              (* The shard layer owns the restart schedule; the injector
+                 only pulls the trigger. *)
+              t.hooks.shard_crash ~shard ~restart_delay
+          | Fault.Shard_stall { shard; duration; slow_factor; _ } ->
+              t.hooks.shard_stall ~shard ~duration ~slow_factor);
           t.finished <- t.finished + 1))
     specs;
   t

@@ -27,6 +27,12 @@ type hooks = {
       (** install the failure predicate ([clerk_name -> bytes -> fail?]) *)
   alloc_fault_clear : unit -> unit;
   burst_clients : clients:int -> think_mean:float -> until:float -> unit;
+  shard_crash : shard:int -> restart_delay:float -> unit;
+      (** kill the indexed shard now; it restarts (cold cache) after the
+          delay — the shard layer owns the restart schedule *)
+  shard_stall : shard:int -> duration:float -> slow_factor:float -> unit;
+      (** brown out the indexed shard for [duration] seconds at
+          [slow_factor] of its normal service rate *)
 }
 
 (** Hooks that ignore every fault (tests, partial wiring). *)

@@ -105,8 +105,25 @@ let record_failure t ~template =
   | Closed ->
       c.failures <- c.failures + 1;
       if c.failures >= t.config.failure_threshold then trip t template c
-  | Half_open -> trip t template c
+  | Half_open ->
+      (* Only the probe's own failure re-trips. A stale hard failure from
+         a query admitted before the trip says nothing about recovery —
+         ignoring it mirrors the [Open] case below. *)
+      if c.probe_out then trip t template c
   | Open -> ()
+
+let release_probe t ~template =
+  match Hashtbl.find_opt t.cells template with
+  | None -> ()
+  | Some c ->
+      refresh t c;
+      (* The probe was admitted but never ran (shed by admission control
+         downstream). Returning the slot keeps the breaker testable: the
+         next arrival becomes the probe instead of the cell wedging
+         half-open with a phantom probe in flight. Counting the shed as a
+         failure would re-open a breaker whose template never got to
+         prove itself. *)
+      if c.cstate = Half_open && c.probe_out then c.probe_out <- false
 
 let state t ~template =
   match Hashtbl.find_opt t.cells template with

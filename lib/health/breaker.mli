@@ -41,7 +41,17 @@ val record_failure : t -> template:string -> unit
 (** The admitted query failed {e hard}. Callers must not report
     back-pressure results (sheds, breaker rejections) here — only real
     failures count toward tripping. Trips a closed breaker at the
-    threshold; re-opens a half-open one. *)
+    threshold; re-opens a half-open one whose probe is in flight. A hard
+    failure reaching a half-open breaker with {e no} probe out (a query
+    admitted before the trip, finishing late) is ignored, like a late
+    failure against an open breaker. *)
+
+val release_probe : t -> template:string -> unit
+(** The half-open probe admitted by {!admit} was shed by a downstream
+    admission gate before it could run. Returns the probe slot without
+    counting a failure — the shed is back-pressure, not evidence about
+    the template — so the next arrival becomes the probe. No-op in every
+    other state. *)
 
 val state : t -> template:string -> state
 (** [Closed] for templates never seen. Reflects cooldown expiry: an open

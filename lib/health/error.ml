@@ -6,6 +6,7 @@ type code =
   | Breaker_open
   | Watchdog_cancelled
   | Deadline_exceeded
+  | Shard_unavailable
 
 type severity = Severe | Warning | Informational
 type t = { code : code; detail : string }
@@ -21,6 +22,7 @@ let all_codes =
     Breaker_open;
     Watchdog_cancelled;
     Deadline_exceeded;
+    Shard_unavailable;
   ]
 
 let code_name = function
@@ -31,22 +33,24 @@ let code_name = function
   | Breaker_open -> "breaker-open"
   | Watchdog_cancelled -> "watchdog-cancelled"
   | Deadline_exceeded -> "deadline-exceeded"
+  | Shard_unavailable -> "shard-unavailable"
 
 let sql_code = function
   | Insufficient_memory -> Some 701
   | Memory_wait_timeout -> Some 8645
   | Low_memory_condition -> Some 8651
-  | Admission_shed | Breaker_open | Watchdog_cancelled | Deadline_exceeded ->
+  | Admission_shed | Breaker_open | Watchdog_cancelled | Deadline_exceeded
+  | Shard_unavailable ->
       None
 
 let severity = function
   | Insufficient_memory | Memory_wait_timeout | Low_memory_condition -> Severe
   | Watchdog_cancelled | Deadline_exceeded -> Warning
-  | Admission_shed | Breaker_open -> Informational
+  | Admission_shed | Breaker_open | Shard_unavailable -> Informational
 
 let retryable = function
   | Insufficient_memory | Memory_wait_timeout | Low_memory_condition
-  | Admission_shed | Breaker_open ->
+  | Admission_shed | Breaker_open | Shard_unavailable ->
       true
   | Watchdog_cancelled | Deadline_exceeded -> false
 

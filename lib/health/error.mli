@@ -22,6 +22,10 @@ type code =
   | Breaker_open  (** the template's circuit breaker is open *)
   | Watchdog_cancelled  (** the watchdog cancelled a silent/stuck query *)
   | Deadline_exceeded  (** the query's own deadline expired *)
+  | Shard_unavailable
+      (** the shard holding this query's placement is down (or its
+          connection was lost mid-flight when the shard crashed) — a
+          routing-layer condition, retryable against a surviving shard *)
 
 type severity = Severe | Warning | Informational
 

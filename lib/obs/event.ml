@@ -63,6 +63,14 @@ type t =
       pools : pool_sample list;
     }
   | Arbiter_reclaim of { pool : string; wanted : int; freed : int }
+  | Shard_state of { shard : string; from_state : string; to_state : string }
+  | Route of { shard : string; template : string; spill : bool; hedged : bool }
+  | Shard_sample of {
+      shard : string;
+      s_state : int;
+      s_inflight : int;
+      s_budget : int;
+    }
   | Custom of { cat : string; name : string; args : (string * value) list }
 
 let category = function
@@ -78,6 +86,7 @@ let category = function
       "health"
   | Forced_reclaim _ -> "broker"
   | Arbiter_tick _ | Arbiter_reclaim _ -> "arbiter"
+  | Shard_state _ | Route _ | Shard_sample _ -> "shard"
   | Custom { cat; _ } -> cat
 
 let name = function
@@ -106,4 +115,7 @@ let name = function
   | Gate_widen _ -> "health:gate_widen"
   | Arbiter_tick _ -> "arbiter:tick"
   | Arbiter_reclaim _ -> "arbiter:reclaim"
+  | Shard_state _ -> "shard:state"
+  | Route _ -> "shard:route"
+  | Shard_sample _ -> "shard:sample"
   | Custom { cat; name; _ } -> cat ^ ":" ^ name

@@ -99,11 +99,27 @@ type t =
   | Arbiter_reclaim of { pool : string; wanted : int; freed : int }
       (** the arbiter shrank a donor pool below its usage and pulled the
           overage back through the pool's reclaim hook *)
+  | Shard_state of { shard : string; from_state : string; to_state : string }
+      (** a shard's failure-domain lifecycle moved, e.g. up -> down on a
+          crash, down -> recovering on restart, recovering -> up once the
+          cold-cache probation window drains *)
+  | Route of { shard : string; template : string; spill : bool; hedged : bool }
+      (** the router placed a query on [shard]; [spill] marks an overflow
+          placement past an unhealthy primary, [hedged] a duplicate
+          dispatch racing a browned-out primary *)
+  | Shard_sample of {
+      shard : string;
+      s_state : int;  (** lifecycle as a counter: 0 up, 1 browned-out,
+                          2 down, 3 recovering *)
+      s_inflight : int;
+      s_budget : int;
+    }  (** periodic per-shard counters for the Chrome trace *)
   | Custom of { cat : string; name : string; args : (string * value) list }
 
 (** Coarse grouping used by exporters and summaries: one of ["compile"],
     ["gateway"], ["broker"], ["grant"], ["exec"], ["resilience"], ["mem"],
-    ["health"], ["arbiter"] or the category of the custom event. *)
+    ["health"], ["arbiter"], ["shard"] or the category of the custom
+    event. *)
 val category : t -> string
 
 (** Short display name, e.g. ["gateway:acquired"]. *)

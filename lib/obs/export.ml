@@ -208,6 +208,37 @@ let lower intern (r : Trace.record) : emitted list =
               ("freed", Event.I freed);
             ];
       ]
+  | Event.Shard_state { shard; from_state; to_state } ->
+      [
+        ev 'i' "shard_state"
+          ~args:
+            [
+              ("shard", Event.S shard);
+              ("from", Event.S from_state);
+              ("to", Event.S to_state);
+            ];
+      ]
+  | Event.Route { shard; template; spill; hedged } ->
+      [
+        ev 'i' "route"
+          ~args:
+            [
+              ("shard", Event.S shard);
+              ("template", Event.S template);
+              ("spill", Event.B spill);
+              ("hedged", Event.B hedged);
+            ];
+      ]
+  | Event.Shard_sample { shard; s_state; s_inflight; s_budget } ->
+      [
+        ev 'C' ("shard:" ^ shard)
+          ~args:
+            [
+              ("state", Event.I s_state);
+              ("inflight", Event.I s_inflight);
+              ("budget_mib", Event.I (s_budget / (1024 * 1024)));
+            ];
+      ]
   | Event.Custom { cat; name; args } -> [ ev 'i' name ~cat ~args ]
 
 let chrome_event fmt ~first e =
@@ -339,6 +370,26 @@ let fields_of_event = function
         ("pool", Event.S pool);
         ("wanted", Event.I wanted);
         ("freed", Event.I freed);
+      ]
+  | Event.Shard_state { shard; from_state; to_state } ->
+      [
+        ("shard", Event.S shard);
+        ("from", Event.S from_state);
+        ("to", Event.S to_state);
+      ]
+  | Event.Route { shard; template; spill; hedged } ->
+      [
+        ("shard", Event.S shard);
+        ("template", Event.S template);
+        ("spill", Event.B spill);
+        ("hedged", Event.B hedged);
+      ]
+  | Event.Shard_sample { shard; s_state; s_inflight; s_budget } ->
+      [
+        ("shard", Event.S shard);
+        ("state", Event.I s_state);
+        ("inflight", Event.I s_inflight);
+        ("budget", Event.I s_budget);
       ]
   | Event.Custom { args; _ } -> args
 

@@ -13,6 +13,7 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable evicted_window : int; (* bytes evicted since the last demand_hint *)
 }
 
 let create _manager ~clerk =
@@ -23,6 +24,7 @@ let create _manager ~clerk =
     hits = 0;
     misses = 0;
     evictions = 0;
+    evicted_window = 0;
   }
 
 let lookup t key =
@@ -58,6 +60,7 @@ let evict_one t =
       Hashtbl.remove t.table key;
       Dbmem.Manager.free t.clerk e.size;
       t.evictions <- t.evictions + 1;
+      t.evicted_window <- t.evicted_window + e.size;
       e.size
 
 let remove t key =
@@ -93,6 +96,14 @@ let shrink t n =
 
 let entries t = Hashtbl.length t.table
 let bytes t = Dbmem.Manager.clerk_used t.clerk
+
+(* Demand for the broker: resident bytes plus what was evicted since the
+   last ask — evicted-then-wanted-again is exactly unmet demand, the same
+   shape as the buffer pool's miss-window hint. *)
+let demand_hint t =
+  let unmet = t.evicted_window in
+  t.evicted_window <- 0;
+  bytes t + unmet
 let hits t = t.hits
 let misses t = t.misses
 let evictions t = t.evictions

@@ -30,6 +30,11 @@ val shrink : t -> int -> int
 
 val entries : t -> int
 val bytes : t -> int
+
+(** Broker demand signal: resident bytes plus bytes evicted since the
+    previous call (eviction churn is unmet demand). Resets the churn
+    window — one caller per cache. *)
+val demand_hint : t -> int
 val hits : t -> int
 val misses : t -> int
 val evictions : t -> int

@@ -17,6 +17,7 @@ type t = {
   grant_timeout : float;
   min_pool_bytes : int;
   min_workspace_bytes : int;
+  plan_cache_floor_bytes : int;
   metrics_interval : float;
   seed : int;
   resilience : Resilience.t;
@@ -45,6 +46,12 @@ let default () =
     grant_timeout = 600.;
     min_pool_bytes = Dbmem.Units.mib 256;
     min_workspace_bytes = Dbmem.Units.mib 256;
+    (* 0 = unprotected: the plan cache donates everything under manager
+       pressure, the seed behaviour. Cache-heavy workloads (the sharded
+       parameterized experiment) raise this so the warm set survives
+       buffer-pool pressure — per the paper, a cached plan is the most
+       valuable byte in the server (compile cost saved per byte). *)
+    plan_cache_floor_bytes = 0;
     metrics_interval = 5.0;
     seed = 42;
     resilience = Resilience.disabled;

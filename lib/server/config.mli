@@ -20,6 +20,10 @@ type t = {
   grant_timeout : float;
   min_pool_bytes : int;  (** broker floor for the buffer pool *)
   min_workspace_bytes : int;  (** broker floor / clamp for grants *)
+  plan_cache_floor_bytes : int;
+      (** bytes of plan cache shielded from donor reclaim and broker
+          shrink verdicts; 0 (the default) leaves the cache fully
+          donatable, the pre-sharding behaviour *)
   metrics_interval : float;  (** memory sampling period *)
   seed : int;
   resilience : Resilience.t;  (** retry/degrade/shed/deadline policy *)

@@ -71,9 +71,15 @@ let create ?(trace = Obs.Trace.null) eng cfg cat =
       ~cpus:cfg.Config.cpus ~config:cfg.Config.throttle
       ~enabled:cfg.Config.throttle_enabled ()
   in
-  (* Caches donate under manager pressure: plan cache first, pool second. *)
+  (* Caches donate under manager pressure: plan cache first, pool second.
+     The configured floor shields a small warm set from the donor walk —
+     with the default floor of 0 the cache donates everything, exactly the
+     original behaviour. *)
+  let cache_floor = cfg.Config.plan_cache_floor_bytes in
   Dbmem.Manager.register_donor manager ~clerk:cache_clerk ~priority:0
-    ~shrink:(fun n -> Plancache.Cache.shrink cache n);
+    ~shrink:(fun n ->
+      let spare = max 0 (Plancache.Cache.bytes cache - cache_floor) in
+      if spare = 0 then 0 else Plancache.Cache.shrink cache (min n spare));
   Dbmem.Manager.register_donor manager ~clerk:pool_clerk ~priority:1
     ~shrink:(fun n -> Bufpool.Pool.shrink pool n);
   (* Broker components and their reactions to verdicts. With supervision
@@ -103,11 +109,20 @@ let create ?(trace = Obs.Trace.null) eng cfg cat =
       ()
   in
   let _cache_comp =
+    (* With a protected floor the cache also reports real demand (resident
+       plus eviction churn) so the broker's split sees the warm set; at
+       floor 0 the registration is identical to the seed's. *)
     Qcore.Broker.register broker ~name:"plancache" ~clerk:cache_clerk ~weight:0.3
+      ~min_bytes:cache_floor
+      ?demand:
+        (if cache_floor > 0 then
+           Some (fun () -> Plancache.Cache.demand_hint cache)
+         else None)
       ~notify:(fun n ->
         match n.Qcore.Broker.verdict with
         | Qcore.Broker.Must_shrink ->
-            let excess = Plancache.Cache.bytes cache - n.Qcore.Broker.target in
+            let keep = max n.Qcore.Broker.target cache_floor in
+            let excess = Plancache.Cache.bytes cache - keep in
             if excess > 0 then ignore (Plancache.Cache.shrink cache excess)
         | Qcore.Broker.Hold_rate | Qcore.Broker.Can_grow -> ())
       ~reclaim:(fun n -> Plancache.Cache.shrink cache n)
@@ -426,6 +441,13 @@ let submit t q =
   | Error e -> fail e
   | Ok () when should_shed t ->
       emit t ~qid Obs.Event.Shed;
+      (* If this arrival was a half-open breaker's probe, hand the probe
+         slot back: the shed is our own back-pressure, not evidence about
+         the template, and a phantom in-flight probe would wedge the
+         breaker half-open. *)
+      (match t.super with
+      | Some s -> Health.Breaker.release_probe s.breakers ~template
+      | None -> ());
       fail (Health.Error.make ~detail:"admission" Health.Error.Admission_shed)
   | Ok () ->
       let watch =
@@ -626,6 +648,10 @@ let install_faults ?spawn_burst t =
             (match spawn_burst with
             | Some f -> f
             | None -> fun ~clients:_ ~think_mean:_ ~until:_ -> ());
+          (* Shard faults only mean something one level up, where a router
+             owns several engines; a single server has no shard to kill. *)
+          shard_crash = (fun ~shard:_ ~restart_delay:_ -> ());
+          shard_stall = (fun ~shard:_ ~duration:_ ~slow_factor:_ -> ());
         }
       in
       Some

@@ -17,6 +17,10 @@ type t
     untraced one. *)
 val create : ?trace:Obs.Trace.t -> Sim.Engine.t -> Config.t -> Optimizer.Catalog.t -> t
 
+(** Queries are named ["<template>#<serial>"]; this strips the serial
+    (identity on ids without a ['#']). Breakers and routers key on it. *)
+val template_of_qid : string -> string
+
 (** Start the broker ticks and memory sampling. *)
 val start : t -> unit
 

@@ -148,6 +148,62 @@ let tenants_section (o : Tenants.outcome) =
       (Dbmem.Units.bytes_to_string o.Tenants.arb_reclaimed)
       (if o.Tenants.arb_scarce then " [scarce]" else "")
 
+(* --- Sharded reports --------------------------------------------- *)
+
+let shard_header =
+  [ "shard"; "state"; "crashes"; "accepted"; "finished"; "lost"; "refused";
+    "recompiles"; "cache hit"; "budget end" ]
+
+let shard_row (r : Shards.shard_result) =
+  [
+    r.Shards.sh_name;
+    r.Shards.sh_final_state;
+    string_of_int r.Shards.sh_crashes;
+    string_of_int r.Shards.sh_accepted;
+    string_of_int r.Shards.sh_finished;
+    string_of_int r.Shards.sh_lost;
+    string_of_int r.Shards.sh_refused;
+    string_of_int r.Shards.sh_recompiles;
+    Printf.sprintf "%.0f%%" (100. *. r.Shards.sh_cache_hit_rate);
+    Dbmem.Units.bytes_to_string r.Shards.sh_budget_end;
+  ]
+
+let shards_section ?baseline (o : Shards.outcome) =
+  let cfg = o.Shards.o_config in
+  Printf.printf
+    "\n[%s] gateways %s%s, seed %d: %d shards, %d clients, machine %s\n"
+    (Shards.schedule_name cfg.Shards.c_schedule)
+    (if cfg.Shards.c_gateways then "on" else "off")
+    (if cfg.Shards.c_hedge then ", hedged" else "")
+    cfg.Shards.c_seed cfg.Shards.c_shards cfg.Shards.c_clients
+    (Dbmem.Units.bytes_to_string cfg.Shards.c_total);
+  table ~header:shard_header (List.map shard_row o.Shards.shard_results);
+  Printf.printf "  completions %s\n" (sparkline (Array.map snd o.Shards.slices));
+  Printf.printf
+    "  %.1f compl/slice, %d completed; router: %d submitted, %d ok, %d \
+     failed (%d rejected), %d spills, %d retries"
+    o.Shards.mean_per_slice o.Shards.completed o.Shards.submitted o.Shards.ok
+    o.Shards.failed o.Shards.rejected o.Shards.spills o.Shards.retries;
+  if o.Shards.hedges > 0 then
+    Printf.printf ", %d hedges (%d won)" o.Shards.hedges o.Shards.hedge_wins;
+  Printf.printf "\n  latency p50 %.0f ms, p99 %.0f ms; clients: %d submitted, \
+                 %d succeeded, %d abandoned\n"
+    o.Shards.p50_ms o.Shards.p99_ms o.Shards.cl_submitted
+    o.Shards.cl_succeeded o.Shards.cl_abandoned;
+  Printf.printf
+    "  arbiter: %d ticks, %d rebalances, %s granted, %s reclaimed; peak \
+     budget sum %s of %s\n"
+    o.Shards.arb_ticks o.Shards.arb_rebalances
+    (Dbmem.Units.bytes_to_string o.Shards.arb_moved)
+    (Dbmem.Units.bytes_to_string o.Shards.arb_reclaimed)
+    (Dbmem.Units.bytes_to_string o.Shards.max_budget_sum)
+    (Dbmem.Units.bytes_to_string cfg.Shards.c_total);
+  match baseline with
+  | None -> ()
+  | Some b ->
+      Printf.printf "  throughput retained vs no-fault: %.0f%%\n"
+        (100. *. Shards.retention ~fault:o ~no_fault:b)
+
 (* The resilience section of a report: per-error-kind tallies plus the
    retry/shed/degrade counters, one block per result. *)
 let resilience_section results =

@@ -43,3 +43,18 @@ val tenant_row : Tenants.tenant_result -> string list
     sparklines, and the arbiter's tick/rebalance/moved/reclaimed
     counters when the mode ran one. *)
 val tenants_section : Tenants.outcome -> unit
+
+(** {1 Sharded reports} *)
+
+val shard_header : string list
+
+(** One row per shard: final state, crash count, submission accounting
+    (accepted/finished/lost/refused), the cold-cache recompilation count
+    and the closing memory budget. *)
+val shard_row : Shards.shard_result -> string list
+
+(** Print one outcome: schedule banner, per-shard retention table,
+    completions sparkline, router and arbiter counters. With [baseline]
+    (the same seed's no-fault outcome) a throughput-retention line is
+    appended. *)
+val shards_section : ?baseline:Shards.outcome -> Shards.outcome -> unit

@@ -139,7 +139,7 @@ let dim_rows name =
 (* Dimensions every analyst query touches. *)
 let core_dims = [ "customer"; "product"; "date_dim" ]
 
-let instantiate_shape shape rng id =
+let instantiate_shape ?id_override shape rng id =
   let n_dims =
     shape.min_dims + Sim.Rng.int rng (shape.max_dims - shape.min_dims + 1)
   in
@@ -216,7 +216,10 @@ let instantiate_shape shape rng id =
     |> List.map (fun m -> (0, m))
   in
   Query.make
-    ~id:(Printf.sprintf "%s#%06d" shape.sname id)
+    ~id:
+      (match id_override with
+      | Some s -> s
+      | None -> Printf.sprintf "%s#%06d" shape.sname id)
     ~rels ~preds
     ~filters:(date_filter :: dim_filters)
     ~agg:(Some { Query.group_by; sum_cols })
@@ -230,6 +233,21 @@ let templates () =
         instantiate = instantiate_shape shape;
       })
     shapes
+
+(* Parameterized application queries: each variant is one fixed draw from
+   a shape, replayed verbatim on every submission. The stable fingerprint
+   makes the variant cacheable — after the first compile, repeats are plan
+   cache hits — which is precisely what makes a cold restart expensive:
+   every variant whose plan lived on the dead shard must recompile at
+   once, and only the compile gateways keep that storm from eating the
+   rejoining shard's memory. *)
+let parameterized_templates ?(variants = 40) () =
+  List.init variants (fun i ->
+      let tname = Printf.sprintf "p%03d" i in
+      let shape = List.nth shapes (i mod List.length shapes) in
+      let rng = Sim.Rng.create (0x5eed lxor i) in
+      let q = instantiate_shape ~id_override:(tname ^ "#0") shape rng 0 in
+      { Template.tname; weight = 1.0; instantiate = (fun _rng _id -> q) })
 
 let diagnostic_template () =
   {

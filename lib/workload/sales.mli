@@ -21,6 +21,15 @@ val dimensions : string list
     dimension attributes, groups by 1-3 attributes and computes 2-4 sums. *)
 val templates : unit -> Template.t list
 
+(** [parameterized_templates ~variants ()] models the application's
+    parameterized query set: [variants] templates (default 40) named
+    ["p000"..], each a single fixed draw from one of the ten shapes that
+    is replayed verbatim on every submission. Because the fingerprint is
+    stable, each variant compiles once and is a plan-cache hit thereafter
+    — the workload whose cold-cache recompilation storm a shard restart
+    must ride out. Deterministic: independent of the caller's rng. *)
+val parameterized_templates : ?variants:int -> unit -> Template.t list
+
 (** A small OLTP-style diagnostic query (fact slice by primary key range,
     no dimensions) — the class the first gateway threshold exempts. *)
 val diagnostic_template : unit -> Template.t

@@ -31,7 +31,7 @@ let test_error_taxonomy () =
     (fun c ->
       Alcotest.(check bool) (code_name c) true (severity c = Informational);
       Alcotest.(check bool) (code_name c) false (Server.Metrics.is_hard_error c))
-    [ Admission_shed; Breaker_open ];
+    [ Admission_shed; Breaker_open; Shard_unavailable ];
   List.iter
     (fun c -> Alcotest.(check bool) (code_name c) true (severity c = Warning))
     [ Watchdog_cancelled; Deadline_exceeded ];
@@ -45,7 +45,11 @@ let test_error_taxonomy () =
     (to_string (make Insufficient_memory));
   Alcotest.(check string) "rendering without SQL code" "admission-shed (admission)"
     (to_string (make ~detail:"admission" Admission_shed));
-  Alcotest.(check int) "taxonomy is complete" (List.length all_codes) 7
+  (* A shard-down refusal is routing back-pressure: retryable against a
+     surviving shard, never a breaker-tripping failure. *)
+  Alcotest.(check bool) "shard-unavailable retryable" true
+    (retryable Shard_unavailable);
+  Alcotest.(check int) "taxonomy is complete" (List.length all_codes) 8
 
 (* ------------------------------------------------------------------ *)
 (* Circuit breaker state machine *)
@@ -116,6 +120,39 @@ let test_breaker_lifecycle () =
   (* Late success from a query admitted before the trip is ignored. *)
   Health.Breaker.record_success b ~template:"T1";
   Alcotest.check breaker_state "late success ignored while open" Health.Breaker.Open (state "T1")
+
+(* A half-open probe that gets shed by downstream admission control never
+   ran — releasing it must return the probe slot without re-tripping, and
+   the next arrival becomes the new probe. *)
+let test_breaker_probe_shed () =
+  let eng = Sim.Engine.create ~seed:1 () in
+  let b =
+    Health.Breaker.create eng
+      { Health.Breaker.failure_threshold = 3; cooldown_s = 60. }
+  in
+  let state tpl = Health.Breaker.state b ~template:tpl in
+  for _ = 1 to 3 do
+    Health.Breaker.record_failure b ~template:"T"
+  done;
+  Alcotest.check breaker_state "tripped" Health.Breaker.Open (state "T");
+  advance eng 60.;
+  Alcotest.(check bool) "probe admitted" true
+    (Result.is_ok (Health.Breaker.admit b ~template:"T"));
+  Health.Breaker.release_probe b ~template:"T";
+  Alcotest.check breaker_state "shed probe leaves half-open" Health.Breaker.Half_open
+    (state "T");
+  Alcotest.(check int) "shed is not a failure: no re-trip" 1
+    (Health.Breaker.opened_total b);
+  Alcotest.(check bool) "next arrival becomes the probe" true
+    (Result.is_ok (Health.Breaker.admit b ~template:"T"));
+  Health.Breaker.record_success b ~template:"T";
+  Alcotest.check breaker_state "recovers through the replacement probe"
+    Health.Breaker.Closed (state "T");
+  (* Releasing with no probe out, or for an unseen template, is a no-op. *)
+  Health.Breaker.release_probe b ~template:"T";
+  Health.Breaker.release_probe b ~template:"never-seen";
+  Alcotest.check breaker_state "release is a no-op when closed" Health.Breaker.Closed
+    (state "T")
 
 (* ------------------------------------------------------------------ *)
 (* Watchdog escalation ladder *)
@@ -490,6 +527,7 @@ let suite =
   [
     ("error taxonomy", `Quick, test_error_taxonomy);
     ("breaker lifecycle", `Quick, test_breaker_lifecycle);
+    ("breaker probe shed is not a failure", `Quick, test_breaker_probe_shed);
     ("watchdog escalation", `Quick, test_watchdog_escalation);
     ("starvation auditor widens and restores", `Quick, test_starvation_widens_and_restores);
     ("broker insists on deaf components", `Quick, test_broker_insists_on_deaf_components);

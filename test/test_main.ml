@@ -19,4 +19,5 @@ let () =
       ("health", Test_health.suite);
       ("misc", Test_misc.suite);
       ("parallel", Test_parallel.suite);
+      ("shards", Test_shards.suite);
     ]

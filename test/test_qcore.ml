@@ -873,6 +873,51 @@ let test_arbiter_reclaim_on_shrink () =
   Alcotest.(check int) "freed bytes counted" !reclaim_asked
     (Arbiter.reclaimed_bytes arb)
 
+let test_arbiter_offline_lends_and_claws_back () =
+  (* Shard-failure accounting: marking a pool offline strips its floor
+     and cap, so the next ticks lend its whole share to the survivor
+     (down to the one-byte keepalive); flipping it back online restores
+     the floor. Throughout, grants never sum past the machine plus one
+     keepalive byte per pool. *)
+  let eng, arb = make_arb () in
+  let check_sum tag a b =
+    Alcotest.(check bool) tag true
+      (Arbiter.budget a + Arbiter.budget b <= Arbiter.total arb + 2)
+  in
+  let survivor =
+    Arbiter.register arb ~name:"survivor" ~min_share:0.25 ~budget:(mib 50)
+      ~used:(fun () -> mib 40)
+      ~demand:(fun () -> mib 200)
+      ~set_budget:(fun _ -> ())
+      ~reclaim:(fun _ -> 0)
+      ()
+  in
+  let victim =
+    Arbiter.register arb ~name:"victim" ~min_share:0.25 ~budget:(mib 50)
+      ~used:(fun () -> mib 10)
+      ~set_budget:(fun _ -> ())
+      ~reclaim:(fun n -> n)
+      ()
+  in
+  Arbiter.start arb;
+  Sim.Engine.run eng ~until:2.5;
+  Alcotest.(check bool) "online pool keeps its floor" true
+    (Arbiter.budget victim >= Arbiter.floor_bytes victim);
+  check_sum "grants fit while both online" survivor victim;
+  Arbiter.set_offline victim true;
+  Alcotest.(check bool) "offline flag reads back" true (Arbiter.offline victim);
+  Sim.Engine.run eng ~until:6.5;
+  Alcotest.(check bool) "down pool drained to keepalive" true
+    (Arbiter.budget victim <= 1);
+  Alcotest.(check bool) "survivor absorbed the share" true
+    (Arbiter.budget survivor > mib 50);
+  check_sum "grants fit with one pool down" survivor victim;
+  Arbiter.set_offline victim false;
+  Sim.Engine.run eng ~until:10.5;
+  Alcotest.(check bool) "rejoined pool clawed its floor back" true
+    (Arbiter.budget victim >= Arbiter.floor_bytes victim);
+  check_sum "grants fit after rejoin" survivor victim
+
 let test_arbiter_register_validation () =
   let _, arb = make_arb () in
   let reg ?(min_share = 0.) ?(weight = 1.) name =
@@ -976,6 +1021,7 @@ let suite =
     ("arbiter redistributes idle to pressured", `Quick, test_arbiter_redistributes_idle_to_pressured);
     ("arbiter reclaim on shrink", `Quick, test_arbiter_reclaim_on_shrink);
     ("arbiter register validation", `Quick, test_arbiter_register_validation);
+    ("arbiter offline lends and claws back", `Quick, test_arbiter_offline_lends_and_claws_back);
     QCheck_alcotest.to_alcotest prop_arbiter_plan_invariants;
     QCheck_alcotest.to_alcotest prop_broker_pressure_respects_floors;
     QCheck_alcotest.to_alcotest prop_trend_slope_recovers_line;
