@@ -122,6 +122,44 @@ let engine_bench () =
       Sim.Engine.events_executed eng)
 
 (* ------------------------------------------------------------------ *)
+(* Mid-tier cache ops *)
+
+(* Steady-state churn on a full cache: every put evicts from the LRU
+   tail, every fourth op is a lookup over a hot key, every 64th an
+   invalidation by relation. This is the per-request price the mid-tier
+   pays on the hot path, intrusive-list bookkeeping included. *)
+let midcache_bench () =
+  let ops = if !quick then 20_000 else 200_000 in
+  let iters = if !quick then 3 else 5 in
+  let budget = 64 * 1024 * 1024 in
+  let cache =
+    Midcache.Cache.create ~budget
+      { Midcache.Cache.default_config with ttl = 1e9 }
+  in
+  let rels = [| "customer"; "product"; "store"; "promo" |] in
+  let b =
+    time_bench ~name:"midcache_ops" ~iters (fun () ->
+        for i = 0 to ops - 1 do
+          let key = Printf.sprintf "q%d" (i land 4095) in
+          if i land 3 = 0 then
+            ignore (Midcache.Cache.get cache ~now:0. key)
+          else if i land 63 = 1 then
+            ignore (Midcache.Cache.invalidate cache rels.(i land 3))
+          else
+            ignore
+              (Midcache.Cache.put cache ~now:0. ~key ~bytes:(32 * 1024)
+                 ~rels:[ rels.(i land 3) ])
+        done)
+  in
+  (* Normalise run-of-N to per-op numbers. *)
+  {
+    b with
+    iters = iters * ops;
+    per_op_ns = b.per_op_ns /. float_of_int ops;
+    alloc_bytes_per_op = b.alloc_bytes_per_op /. float_of_int ops;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Experiment cells and the parallel grid *)
 
 let cell_measure () = if !quick then 180. else 600.
@@ -132,6 +170,21 @@ let experiment_bench () =
       Server.Experiment.run
         ~config:{ (Server.Config.default ()) with Server.Config.seed = 42 }
         ~clients:10 ~warmup:30. ~measure:(cell_measure ()) ~slice:60. ())
+
+(* A full brokered mid-tier cache cell: clients, writers, cache,
+   broker registration and gateway accounting end to end. *)
+let cached_cell_bench () =
+  let iters = if !quick then 1 else 2 in
+  time_bench ~name:"cached_cell_brokered" ~iters (fun () ->
+      Server.Cached.run
+        {
+          Server.Cached.default_config with
+          Server.Cached.k_clients = 10;
+          k_variants = 24;
+          k_warmup = 30.;
+          k_measure = cell_measure ();
+          k_seed = 42;
+        })
 
 (* Per-task round-trip cost of the domain pool itself — submit, queue
    handoff, result collection — measured on trivial closures through a
@@ -316,7 +369,13 @@ let () =
     !jobs;
   let benches =
     optimizer_benches ()
-    @ [ engine_bench (); experiment_bench (); pool_overhead_bench () ]
+    @ [
+        engine_bench ();
+        midcache_bench ();
+        experiment_bench ();
+        cached_cell_bench ();
+        pool_overhead_bench ();
+      ]
   in
   List.iter
     (fun b ->

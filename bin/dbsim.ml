@@ -960,6 +960,288 @@ let shards_cmd =
       $ warmup_arg $ measure_arg $ slice_arg $ total_gib_arg $ hedge_arg
       $ rolling_arg $ seed_arg $ seeds_arg $ out_arg $ trace_arg $ jobs_arg)
 
+let cache_cmd =
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("all", `All); ("off", `Off); ("fixed", `Fixed); ("brokered", `Brokered) ]) `All
+      & info [ "mode" ]
+          ~doc:
+            "Cache mode to run: $(b,off), $(b,fixed), $(b,brokered), or \
+             $(b,all) (the three-way comparison).")
+  in
+  let clients_arg =
+    Arg.(value & opt int 16 & info [ "clients"; "c" ] ~doc:"Number of concurrent clients.")
+  in
+  let think_arg =
+    Arg.(value & opt float 30. & info [ "think" ] ~doc:"Client think time, seconds (mean).")
+  in
+  let ratio_arg =
+    Arg.(
+      value & opt float 0.6
+      & info [ "param-ratio" ]
+          ~doc:
+            "Fraction of traffic replaying parameterized (cacheable) \
+             statements; the rest is uniquified ad-hoc.")
+  in
+  let variants_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "variants" ] ~doc:"Distinct parameterized statements.")
+  in
+  let writers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "writers" ]
+          ~doc:"Writer sessions invalidating cached results by relation.")
+  in
+  let warmup_arg =
+    Arg.(value & opt float 200. & info [ "warmup" ] ~doc:"Warm-up seconds (excluded from results).")
+  in
+  let measure_arg =
+    Arg.(value & opt float 800. & info [ "measure" ] ~doc:"Measured window, seconds.")
+  in
+  let memory_gib_arg =
+    Arg.(value & opt float 4. & info [ "memory-gib" ] ~doc:"Machine memory, GiB.")
+  in
+  let cache_mib_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-mib" ]
+          ~doc:
+            "Cache byte budget, MiB (fixed mode) / broker cap (brokered \
+             mode). Default 256. Conflicts with $(b,--mode off).")
+  in
+  let ttl_arg =
+    Arg.(
+      value & opt float 600.
+      & info [ "ttl" ] ~doc:"Cached-entry lifetime, seconds (0 = no expiry).")
+  in
+  let ballast_gib_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "ballast-gib" ]
+          ~doc:
+            "Inject a memory ballast mid-window (GiB): the pressure under \
+             which a brokered cache shrinks and a fixed one squeezes the \
+             engine.")
+  in
+  let flash_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "flash" ]
+          ~doc:
+            "Flash crowd: this many extra clients appear halfway through \
+             the measure window for a fifth of it (0 = none).")
+  in
+  let peak_load_arg =
+    Arg.(
+      value & opt float 1.
+      & info [ "peak-load" ]
+          ~doc:
+            "Diurnal curve: load swings sinusoidally up to this multiple \
+             of the baseline over one measure-length cycle (1 = flat).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Also write a per-seed cache report to FILE (CI artifact). With \
+             several $(b,--seeds), -seedN is inserted before the extension.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PREFIX"
+          ~doc:
+            "Additionally re-run the brokered cell with tracing and write \
+             PREFIX-seedN.json Chrome traces (cache residency/hit-rate \
+             counters, lookup/store/invalidate/shrink instants, gateway \
+             waits).")
+  in
+  let seeds_arg =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "seeds" ]
+          ~doc:
+            "Run every cell at each of these seeds (overrides --seed); the \
+             independent runs fan out across --jobs domains.")
+  in
+  let action mode clients think ratio variants writers warmup measure slice
+      memory_gib cache_mib ttl ballast_gib flash peak_load seed seeds out
+      trace_prefix jobs =
+    check_duplicate_seeds seeds;
+    let fail msg =
+      prerr_endline (Printf.sprintf "dbsim: error: %s (try 'dbsim --help')" msg);
+      exit Cmd.Exit.cli_error
+    in
+    (* Structured conflicts, caught before any simulation runs. *)
+    (match (mode, cache_mib) with
+    | `Off, Some _ ->
+        fail "--cache-mib conflicts with --mode off (cache-off runs no cache)"
+    | _ -> ());
+    if ratio < 0. || ratio > 1. then fail "--param-ratio outside [0, 1]";
+    if peak_load < 1. then fail "--peak-load below 1";
+    if flash < 0 then fail "--flash below 0";
+    let seeds = match seeds with [] -> [ seed ] | l -> l in
+    let modes =
+      match mode with
+      | `All ->
+          [
+            Server.Cached.Cache_off;
+            Server.Cached.Cache_fixed;
+            Server.Cached.Cache_brokered;
+          ]
+      | `Off -> [ Server.Cached.Cache_off ]
+      | `Fixed -> [ Server.Cached.Cache_fixed ]
+      | `Brokered -> [ Server.Cached.Cache_brokered ]
+    in
+    let cfg_of ~seed ~mode =
+      {
+        Server.Cached.default_config with
+        Server.Cached.k_mode = mode;
+        k_clients = clients;
+        k_think = think;
+        k_ratio = ratio;
+        k_variants = variants;
+        k_writers = writers;
+        k_warmup = warmup;
+        k_measure = measure;
+        k_slice = slice;
+        k_memory = int_of_float (memory_gib *. float_of_int (Dbmem.Units.gib 1));
+        k_cache_bytes = Dbmem.Units.mib (Option.value cache_mib ~default:256);
+        k_ttl = ttl;
+        k_ballast_gib = ballast_gib;
+        k_diurnal =
+          (if peak_load > 1. then
+             Some { Workload.Mix.period = measure; peak_load }
+           else None);
+        k_flash =
+          (if flash > 0 then
+             [
+               {
+                 Workload.Mix.at = warmup +. (0.5 *. measure);
+                 duration = 0.2 *. measure;
+                 clients = flash;
+                 think = think /. 4.;
+               };
+             ]
+           else []);
+        k_seed = seed;
+      }
+    in
+    let cells =
+      List.concat_map
+        (fun seed -> List.map (fun mode -> cfg_of ~seed ~mode) modes)
+        seeds
+    in
+    List.iter Server.Cached.validate cells;
+    let run_cell cfg = Server.Cached.run cfg in
+    let outcomes =
+      if jobs <= 1 then List.map run_cell cells
+      else Parallel.Pool.run ~jobs run_cell cells
+    in
+    let per_seed = List.length modes in
+    let rec group = function
+      | [] -> []
+      | rest ->
+          let rec take n acc = function
+            | l when n = 0 -> (List.rev acc, l)
+            | x :: l -> take (n - 1) (x :: acc) l
+            | [] -> assert false
+          in
+          let seed_outcomes, rest = take per_seed [] rest in
+          seed_outcomes :: group rest
+    in
+    let multi = List.length seeds > 1 in
+    List.iter2
+      (fun seed seed_outcomes ->
+        let open Server.Cached in
+        let baseline =
+          List.find_opt
+            (fun o -> o.o_config.k_mode = Cache_off)
+            seed_outcomes
+        in
+        Printf.printf
+          "\nMid-tier cache, seed %d (machine %.0f GiB, %.0f%% parameterized):\n"
+          seed memory_gib (100. *. ratio);
+        List.iter
+          (fun o ->
+            match baseline with
+            | Some b when o.o_config.k_mode <> Cache_off ->
+                Server.Report.cached_section ~baseline:b o
+            | _ -> Server.Report.cached_section o)
+          seed_outcomes;
+        if List.length seed_outcomes > 1 then
+          Server.Report.cached_comparison seed_outcomes;
+        (match seed_out_path ~multi out seed with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            let pr fmt = Printf.fprintf oc fmt in
+            pr "mid-tier cache report, seed %d, machine %.0f GiB\n" seed
+              memory_gib;
+            pr
+              "mode,compl_per_slice,completed,requests,hits,misses,bypasses,\
+               hit_rate,stores,refused,evictions,expired,invalidated,\
+               shrink_events,shrink_freed,resident_end,resident_peak,\
+               budget_end,gw_acquires,gw_timeouts,gw_wait_mean_s,compiles,\
+               plan_hits,compile_peak_max,ooms,p50_ms,p99_ms,abandoned\n";
+            List.iter
+              (fun o ->
+                pr
+                  "%s,%.2f,%d,%d,%d,%d,%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,\
+                   %d,%d,%d,%.3f,%d,%d,%.0f,%d,%.1f,%.1f,%d\n"
+                  (mode_name o.o_config.k_mode)
+                  o.mean_per_slice o.completed o.requests o.hits o.misses
+                  o.bypasses o.cache_hit_rate o.stores o.refused o.evictions
+                  o.expired o.invalidated o.shrink_events o.shrink_freed
+                  o.resident_end o.resident_peak o.budget_end o.gw_acquires
+                  o.gw_timeouts o.gw_wait_mean_s o.compiles o.plan_hits
+                  o.compile_peak_max o.ooms o.p50_ms o.p99_ms o.cl_abandoned)
+              seed_outcomes;
+            (match
+               ( baseline,
+                 List.find_opt
+                   (fun o -> o.o_config.k_mode = Cache_brokered)
+                   seed_outcomes )
+             with
+            | Some off, Some brokered ->
+                pr "brokered_uplift=%.3f gw_drop=%d\n"
+                  (uplift brokered ~over:off)
+                  (off.gw_acquires - brokered.gw_acquires)
+            | _ -> ());
+            close_out oc;
+            Printf.printf "wrote %s\n" path);
+        match trace_prefix with
+        | None -> ()
+        | Some prefix ->
+            let trace = Obs.Trace.create () in
+            ignore
+              (Server.Cached.run ~trace
+                 (cfg_of ~seed ~mode:Server.Cached.Cache_brokered));
+            let path = Printf.sprintf "%s-seed%d.json" prefix seed in
+            Obs.Export.chrome_to_file path (Obs.Trace.records trace);
+            Printf.printf "wrote %s\n" path)
+      seeds (group outcomes)
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Mid-tier statement/result cache under mixed parameterized/ad-hoc \
+          traffic: cache-off vs fixed vs broker-governed, with optional \
+          memory ballast, diurnal curve and flash crowds.")
+    Term.(
+      const action $ mode_arg $ clients_arg $ think_arg $ ratio_arg
+      $ variants_arg $ writers_arg $ warmup_arg $ measure_arg $ slice_arg
+      $ memory_gib_arg $ cache_mib_arg $ ttl_arg $ ballast_gib_arg $ flash_arg
+      $ peak_load_arg $ seed_arg $ seeds_arg $ out_arg $ trace_arg $ jobs_arg)
+
 let info_cmd =
   let action () =
     let cfg = Server.Config.default () in
@@ -1000,7 +1282,7 @@ let () =
   let group =
     Cmd.group (Cmd.info "dbsim" ~doc)
       [ run_cmd; compare_cmd; sweep_cmd; chaos_cmd; health_cmd; tenants_cmd;
-        shards_cmd; trace_cmd; info_cmd; verbose_cmd; sql_cmd ]
+        shards_cmd; cache_cmd; trace_cmd; info_cmd; verbose_cmd; sql_cmd ]
   in
   let errbuf = Buffer.create 256 in
   let err = Format.formatter_of_buffer errbuf in

@@ -1,0 +1,104 @@
+(** Mid-tier statement/result cache — the "intermediate caching layer …
+    more like a KVS between the engine and the client".
+
+    Entries are keyed by canonical statement text (template + literal
+    parameters), carry a simulated result payload size, and obey explicit
+    staleness semantics: TTL expiry (an entry exactly at its expiry time is
+    a {e miss}) plus write-driven invalidation by touched-relation set.
+    Eviction is strict LRU under a byte budget.
+
+    The module is deliberately pure machinery: every operation takes the
+    current time explicitly and nothing here touches the simulation clock,
+    randomness, or the memory manager directly. Accounting against a
+    physical memory manager is wired through the [charge]/[release] hooks,
+    so the cache can be a first-class broker component without this
+    library depending on the broker. *)
+
+type config = {
+  ttl : float;
+      (** entry lifetime in seconds; an entry inserted at [t] is served
+          only strictly before [t +. ttl]. [<= 0.] disables expiry. *)
+  max_entry_bytes : int;
+      (** payloads larger than this are refused (never cached) *)
+}
+
+val default_config : config
+
+type t
+
+(** [create ?charge ?release ~budget config]. [charge n] is called before
+    an insert charges [n] bytes to external accounting (e.g. a memory
+    clerk) — returning [false] refuses the bytes, and the cache evicts LRU
+    entries and retries a bounded number of times before giving up on the
+    insert. [release n] is called whenever [n] resident bytes leave the
+    cache for any reason. Defaults accept everything / do nothing. *)
+val create : ?charge:(int -> bool) -> ?release:(int -> unit) -> budget:int -> config -> t
+
+(** [get t ~now key] probes the cache. A present, unexpired entry returns
+    its payload size and becomes most-recently-used; an entry at or past
+    its expiry is dropped and counted as both an expiry and a miss. *)
+val get : t -> now:float -> string -> int option
+
+(** [put t ~now ~key ~bytes ~rels] inserts (or replaces) an entry whose
+    result joins the relations [rels]. LRU entries are evicted until the
+    payload fits the budget; payloads over [max_entry_bytes] or the whole
+    budget are refused. Returns whether the entry is now resident. *)
+val put : t -> now:float -> key:string -> bytes:int -> rels:string list -> bool
+
+(** Count a request that never consulted the cache (cache-off mode, or an
+    uncacheable statement). Keeps the conservation law
+    [requests = hits + misses + bypasses] checkable at this layer. *)
+val note_bypass : t -> unit
+
+(** [invalidate t rel] drops every entry whose result joins [rel].
+    Returns [(entries, bytes)] dropped. *)
+val invalidate : t -> string -> int * int
+
+(** [shrink t n] evicts LRU entries until at least [n] bytes are freed or
+    the cache is empty; returns the bytes actually freed. Within one call
+    the resident size is strictly decreasing — a reclaim never re-grows. *)
+val shrink : t -> int -> int
+
+(** [set_budget t n] re-targets the byte budget (the broker's lever),
+    evicting LRU entries if the cache is over the new budget. *)
+val set_budget : t -> int -> unit
+
+(** {1 Introspection} *)
+
+val budget : t -> int
+val resident : t -> int
+val entries : t -> int
+
+(** [mem t key] — residency without touching stats or recency (tests). *)
+val mem : t -> string -> bool
+
+(** Resident bytes plus bytes evicted (for space, not staleness) since the
+    last call — evicted-then-wanted-again is unmet demand, the same hint
+    shape the plan cache and buffer pool report to the broker. *)
+val demand_hint : t -> int
+
+val hits : t -> int
+val misses : t -> int
+val bypasses : t -> int
+
+(** [requests t = hits t + misses t + bypasses t]. *)
+val requests : t -> int
+
+val stores : t -> int
+val refused : t -> int  (** inserts that could not be accommodated *)
+
+(** Entries evicted for space (LRU / shrink). *)
+val evictions : t -> int
+
+val expired : t -> int
+val invalidated : t -> int
+
+(** Shrink calls that freed at least one byte. *)
+val shrinks : t -> int
+
+val shrunk_bytes : t -> int
+
+(** [0.] on an empty history, never [nan]. *)
+val hit_rate : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -71,6 +71,16 @@ type t =
       s_inflight : int;
       s_budget : int;
     }
+  | Midcache_lookup of { hit : bool; bytes : int }
+  | Midcache_store of { bytes : int; resident : int }
+  | Midcache_invalidate of { relation : string; entries : int; bytes : int }
+  | Midcache_shrink of { wanted : int; freed : int }
+  | Midcache_sample of {
+      resident : int;
+      mc_budget : int;
+      mc_entries : int;
+      hit_rate_pct : int;
+    }
   | Custom of { cat : string; name : string; args : (string * value) list }
 
 let category = function
@@ -87,6 +97,9 @@ let category = function
   | Forced_reclaim _ -> "broker"
   | Arbiter_tick _ | Arbiter_reclaim _ -> "arbiter"
   | Shard_state _ | Route _ | Shard_sample _ -> "shard"
+  | Midcache_lookup _ | Midcache_store _ | Midcache_invalidate _
+  | Midcache_shrink _ | Midcache_sample _ ->
+      "midcache"
   | Custom { cat; _ } -> cat
 
 let name = function
@@ -118,4 +131,10 @@ let name = function
   | Shard_state _ -> "shard:state"
   | Route _ -> "shard:route"
   | Shard_sample _ -> "shard:sample"
+  | Midcache_lookup { hit; _ } ->
+      if hit then "midcache:hit" else "midcache:miss"
+  | Midcache_store _ -> "midcache:store"
+  | Midcache_invalidate _ -> "midcache:invalidate"
+  | Midcache_shrink _ -> "midcache:shrink"
+  | Midcache_sample _ -> "midcache:sample"
   | Custom { cat; name; _ } -> cat ^ ":" ^ name

@@ -114,12 +114,30 @@ type t =
       s_inflight : int;
       s_budget : int;
     }  (** periodic per-shard counters for the Chrome trace *)
+  | Midcache_lookup of { hit : bool; bytes : int }
+      (** mid-tier statement cache probe; [bytes] is the payload served on
+          a hit, [0] on a miss *)
+  | Midcache_store of { bytes : int; resident : int }
+      (** a computed result entered the mid-tier cache; [resident] is the
+          cache's footprint after the insert *)
+  | Midcache_invalidate of { relation : string; entries : int; bytes : int }
+      (** a write touched [relation]: every cached result joining it was
+          dropped ([entries] entries, [bytes] bytes) *)
+  | Midcache_shrink of { wanted : int; freed : int }
+      (** the broker squeezed the mid-tier cache: asked for [wanted]
+          bytes, evicting LRU entries released [freed] *)
+  | Midcache_sample of {
+      resident : int;
+      mc_budget : int;
+      mc_entries : int;
+      hit_rate_pct : int;
+    }  (** periodic mid-tier cache counters for the Chrome trace *)
   | Custom of { cat : string; name : string; args : (string * value) list }
 
 (** Coarse grouping used by exporters and summaries: one of ["compile"],
     ["gateway"], ["broker"], ["grant"], ["exec"], ["resilience"], ["mem"],
-    ["health"], ["arbiter"], ["shard"] or the category of the custom
-    event. *)
+    ["health"], ["arbiter"], ["shard"], ["midcache"] or the category of
+    the custom event. *)
 val category : t -> string
 
 (** Short display name, e.g. ["gateway:acquired"]. *)

@@ -239,6 +239,41 @@ let lower intern (r : Trace.record) : emitted list =
               ("budget_mib", Event.I (s_budget / (1024 * 1024)));
             ];
       ]
+  | Event.Midcache_lookup { hit; bytes } ->
+      [
+        ev 'i'
+          (if hit then "midcache_hit" else "midcache_miss")
+          ~args:[ ("bytes", Event.I bytes) ];
+      ]
+  | Event.Midcache_store { bytes; resident } ->
+      [
+        ev 'i' "midcache_store"
+          ~args:[ ("bytes", Event.I bytes); ("resident", Event.I resident) ];
+      ]
+  | Event.Midcache_invalidate { relation; entries; bytes } ->
+      [
+        ev 'i' "midcache_invalidate"
+          ~args:
+            [
+              ("relation", Event.S relation);
+              ("entries", Event.I entries);
+              ("bytes", Event.I bytes);
+            ];
+      ]
+  | Event.Midcache_shrink { wanted; freed } ->
+      [
+        ev 'i' "midcache_shrink"
+          ~args:[ ("wanted", Event.I wanted); ("freed", Event.I freed) ];
+      ]
+  | Event.Midcache_sample { resident; mc_budget; mc_entries; hit_rate_pct } ->
+      [
+        ev 'C' "midcache:bytes"
+          ~args:
+            [ ("resident", Event.I resident); ("budget", Event.I mc_budget) ];
+        ev 'C' "midcache:entries" ~args:[ ("entries", Event.I mc_entries) ];
+        ev 'C' "midcache:hit_rate"
+          ~args:[ ("pct", Event.I hit_rate_pct) ];
+      ]
   | Event.Custom { cat; name; args } -> [ ev 'i' name ~cat ~args ]
 
 let chrome_event fmt ~first e =
@@ -390,6 +425,25 @@ let fields_of_event = function
         ("state", Event.I s_state);
         ("inflight", Event.I s_inflight);
         ("budget", Event.I s_budget);
+      ]
+  | Event.Midcache_lookup { hit; bytes } ->
+      [ ("hit", Event.B hit); ("bytes", Event.I bytes) ]
+  | Event.Midcache_store { bytes; resident } ->
+      [ ("bytes", Event.I bytes); ("resident", Event.I resident) ]
+  | Event.Midcache_invalidate { relation; entries; bytes } ->
+      [
+        ("relation", Event.S relation);
+        ("entries", Event.I entries);
+        ("bytes", Event.I bytes);
+      ]
+  | Event.Midcache_shrink { wanted; freed } ->
+      [ ("wanted", Event.I wanted); ("freed", Event.I freed) ]
+  | Event.Midcache_sample { resident; mc_budget; mc_entries; hit_rate_pct } ->
+      [
+        ("resident", Event.I resident);
+        ("budget", Event.I mc_budget);
+        ("entries", Event.I mc_entries);
+        ("hit_rate_pct", Event.I hit_rate_pct);
       ]
   | Event.Custom { args; _ } -> args
 

@@ -204,6 +204,101 @@ let shards_section ?baseline (o : Shards.outcome) =
       Printf.printf "  throughput retained vs no-fault: %.0f%%\n"
         (100. *. Shards.retention ~fault:o ~no_fault:b)
 
+let cached_section ?baseline (o : Cached.outcome) =
+  let cfg = o.Cached.o_config in
+  Printf.printf
+    "\n[%s] seed %d: %d clients (%.0f%% parameterized, %d variants), %d \
+     writers, machine %s%s\n"
+    (Cached.mode_name cfg.Cached.k_mode)
+    cfg.Cached.k_seed cfg.Cached.k_clients
+    (100. *. cfg.Cached.k_ratio)
+    cfg.Cached.k_variants cfg.Cached.k_writers
+    (Dbmem.Units.bytes_to_string cfg.Cached.k_memory)
+    (if cfg.Cached.k_ballast_gib > 0. then
+       Printf.sprintf ", %.1f GiB ballast" cfg.Cached.k_ballast_gib
+     else "");
+  Printf.printf "  completions %s\n"
+    (sparkline (Array.map snd o.Cached.slices));
+  Printf.printf
+    "  %.1f compl/slice, %d completed; %d requests = %d hits + %d misses + \
+     %d bypasses (hit rate %.0f%%)\n"
+    o.Cached.mean_per_slice o.Cached.completed o.Cached.requests
+    o.Cached.hits o.Cached.misses o.Cached.bypasses
+    (100. *. o.Cached.cache_hit_rate);
+  if cfg.Cached.k_mode <> Cached.Cache_off then begin
+    Printf.printf
+      "  cache: %s resident (peak %s) of %s; %d stores, %d refused, %d \
+       evicted, %d expired, %d invalidated (%d writes)\n"
+      (Dbmem.Units.bytes_to_string o.Cached.resident_end)
+      (Dbmem.Units.bytes_to_string o.Cached.resident_peak)
+      (Dbmem.Units.bytes_to_string o.Cached.budget_end)
+      o.Cached.stores o.Cached.refused o.Cached.evictions o.Cached.expired
+      o.Cached.invalidated o.Cached.writes;
+    if o.Cached.shrink_events > 0 then
+      Printf.printf "  broker squeezed the cache %d times, reclaiming %s\n"
+        o.Cached.shrink_events
+        (Dbmem.Units.bytes_to_string o.Cached.shrink_freed)
+  end;
+  Printf.printf
+    "  engine: %d compiles (%d plan-cache hits), gateways %d acquires / %d \
+     timeouts (mean wait %.2f s), compile peak %s, %d OOMs\n"
+    o.Cached.compiles o.Cached.plan_hits o.Cached.gw_acquires
+    o.Cached.gw_timeouts o.Cached.gw_wait_mean_s
+    (Dbmem.Units.bytes_to_string (int_of_float o.Cached.compile_peak_max))
+    o.Cached.ooms;
+  Printf.printf
+    "  latency p50 %.0f ms, p99 %.0f ms; clients: %d submitted, %d \
+     succeeded, %d abandoned\n"
+    o.Cached.p50_ms o.Cached.p99_ms o.Cached.cl_submitted
+    o.Cached.cl_succeeded o.Cached.cl_abandoned;
+  match baseline with
+  | None -> ()
+  | Some b ->
+      Printf.printf "  throughput vs cache-off: %.2fx, gateway admissions \
+                     %d -> %d\n"
+        (Cached.uplift o ~over:b) b.Cached.gw_acquires o.Cached.gw_acquires
+
+let cached_comparison (outcomes : Cached.outcome list) =
+  print_newline ();
+  table
+    ~header:
+      [
+        "mode";
+        "compl/slice";
+        "hit%";
+        "gw acq";
+        "gw wait s";
+        "compile peak";
+        "shrinks";
+        "p99 ms";
+      ]
+    (List.map
+       (fun (o : Cached.outcome) ->
+         [
+           Cached.mode_name o.Cached.o_config.Cached.k_mode;
+           Printf.sprintf "%.1f" o.Cached.mean_per_slice;
+           Printf.sprintf "%.0f" (100. *. o.Cached.cache_hit_rate);
+           string_of_int o.Cached.gw_acquires;
+           Printf.sprintf "%.2f" o.Cached.gw_wait_mean_s;
+           Dbmem.Units.bytes_to_string
+             (int_of_float o.Cached.compile_peak_max);
+           string_of_int o.Cached.shrink_events;
+           Printf.sprintf "%.0f" o.Cached.p99_ms;
+         ])
+       outcomes);
+  let find m =
+    List.find_opt
+      (fun (o : Cached.outcome) -> o.Cached.o_config.Cached.k_mode = m)
+      outcomes
+  in
+  match (find Cached.Cache_off, find Cached.Cache_brokered) with
+  | Some off, Some brokered ->
+      Printf.printf
+        "  brokered vs off: %.2fx throughput, gateway admissions %d -> %d\n"
+        (Cached.uplift brokered ~over:off)
+        off.Cached.gw_acquires brokered.Cached.gw_acquires
+  | _ -> ()
+
 (* The resilience section of a report: per-error-kind tallies plus the
    retry/shed/degrade counters, one block per result. *)
 let resilience_section results =

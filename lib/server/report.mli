@@ -58,3 +58,16 @@ val shard_row : Shards.shard_result -> string list
     (the same seed's no-fault outcome) a throughput-retention line is
     appended. *)
 val shards_section : ?baseline:Shards.outcome -> Shards.outcome -> unit
+
+(** {1 Mid-tier cache reports} *)
+
+(** Print one outcome: mode banner, request accounting (hits / misses /
+    bypasses), cache residency and staleness counters, compile-gateway
+    pressure, and the completions sparkline. With [baseline] (the same
+    seed's cache-off outcome) a throughput-uplift line is appended. *)
+val cached_section : ?baseline:Cached.outcome -> Cached.outcome -> unit
+
+(** Side-by-side summary table of the three modes plus the headline
+    comparison lines (uplift over cache-off, gateway-admission drop,
+    broker shrink activity). *)
+val cached_comparison : Cached.outcome list -> unit

@@ -13,11 +13,20 @@ type submit = Optimizer.Query.t -> (unit, string) result
 
 let make_stats () = { submitted = 0; attempts = 0; succeeded = 0; abandoned = 0 }
 
-let spawn eng rng ~name ~templates ~submit ~config ~stats ~ids ~until =
+let spawn ?(start = 0.) ?think_of eng rng ~name ~templates ~submit ~config
+    ~stats ~ids ~until =
   let rng = Sim.Rng.split rng in
+  let think_mean =
+    match think_of with
+    | Some f -> f
+    | None -> fun _ -> config.think_mean
+  in
   Sim.Engine.spawn eng ~name (fun () ->
+      let now = Sim.Engine.now eng in
+      if start > now then Sim.Engine.sleep (start -. now);
       while Sim.Engine.now eng < until do
-        Sim.Engine.sleep (Sim.Rng.exponential rng ~mean:config.think_mean);
+        let mean = think_mean (Sim.Engine.now eng) in
+        Sim.Engine.sleep (Sim.Rng.exponential rng ~mean);
         if Sim.Engine.now eng < until then begin
           let template = Template.pick rng templates in
           incr ids;

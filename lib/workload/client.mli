@@ -29,8 +29,13 @@ type submit = Optimizer.Query.t -> (unit, string) result
 (** [spawn eng rng ~name ~templates ~submit ~config ~stats ~until] starts a
     client process that runs until the engine clock passes [until]. Query
     instance ids are drawn from [ids] (shared across clients so every
-    instantiation is globally unique). *)
+    instantiation is globally unique). [start] (default [0.]) delays the
+    first think — flash-crowd clients appear mid-run. [think_of], when
+    given, maps the current simulation time to the think-time mean,
+    overriding [config.think_mean] (diurnal load curves). *)
 val spawn :
+  ?start:float ->
+  ?think_of:(float -> float) ->
   Sim.Engine.t ->
   Sim.Rng.t ->
   name:string ->

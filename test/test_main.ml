@@ -20,4 +20,5 @@ let () =
       ("misc", Test_misc.suite);
       ("parallel", Test_parallel.suite);
       ("shards", Test_shards.suite);
+      ("midcache", Test_midcache.suite);
     ]

@@ -251,6 +251,9 @@ let test_crash_failover_retention () =
   let retention =
     Server.Shards.retention ~fault:crash ~no_fault
   in
+  (* Bound pinned by the seed audit (test/seed_audit.exe): across seeds
+     1..20 this config's retention spans [0.877, 1.000], so 0.8 leaves
+     real margin at every audited seed, not just this one. *)
   Alcotest.(check bool)
     (Printf.sprintf "retention %.2f >= 0.8" retention)
     true (retention >= 0.8);
