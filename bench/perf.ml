@@ -160,6 +160,55 @@ let midcache_bench () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Storm-defense hot paths *)
+
+(* Uncontended singleflight enter/exit — the bookkeeping every compile
+   now pays even when no storm is in progress (hash probe, flight
+   record, waitq allocation). Rotating keys keeps the table realistic. *)
+let singleflight_bench () =
+  let ops = if !quick then 20_000 else 200_000 in
+  let iters = if !quick then 3 else 5 in
+  let eng = Sim.Engine.create ~seed:1 () in
+  let sf = Plancache.Singleflight.create eng in
+  let b =
+    time_bench ~name:"singleflight_ops" ~iters (fun () ->
+        for i = 0 to ops - 1 do
+          let key = Printf.sprintf "p%03d" (i land 127) in
+          match Plancache.Singleflight.enter sf ~key () with
+          | `Leader tok -> Plancache.Singleflight.exit sf tok
+          | _ -> assert false
+        done)
+  in
+  {
+    b with
+    iters = iters * ops;
+    per_op_ns = b.per_op_ns /. float_of_int ops;
+    alloc_bytes_per_op = b.alloc_bytes_per_op /. float_of_int ops;
+  }
+
+(* Retry-budget token bucket: the per-retry spend / per-success earn the
+   router pays on every outcome. *)
+let retry_budget_bench () =
+  let ops = if !quick then 50_000 else 500_000 in
+  let iters = if !quick then 3 else 5 in
+  let budget =
+    Server.Resilience.Budget.create Server.Resilience.Budget.default_config
+  in
+  let b =
+    time_bench ~name:"retry_budget_ops" ~iters (fun () ->
+        for i = 0 to ops - 1 do
+          if i land 1 = 0 then Server.Resilience.Budget.earn budget
+          else ignore (Server.Resilience.Budget.try_spend budget)
+        done)
+  in
+  {
+    b with
+    iters = iters * ops;
+    per_op_ns = b.per_op_ns /. float_of_int ops;
+    alloc_bytes_per_op = b.alloc_bytes_per_op /. float_of_int ops;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Experiment cells and the parallel grid *)
 
 let cell_measure () = if !quick then 180. else 600.
@@ -372,6 +421,8 @@ let () =
     @ [
         engine_bench ();
         midcache_bench ();
+        singleflight_bench ();
+        retry_budget_bench ();
         experiment_bench ();
         cached_cell_bench ();
         pool_overhead_bench ();

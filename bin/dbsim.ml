@@ -960,6 +960,314 @@ let shards_cmd =
       $ warmup_arg $ measure_arg $ slice_arg $ total_gib_arg $ hedge_arg
       $ rolling_arg $ seed_arg $ seeds_arg $ out_arg $ trace_arg $ jobs_arg)
 
+let storm_cmd =
+  let shards_arg =
+    Arg.(value & opt int 3 & info [ "shards" ] ~doc:"Number of shards (failure domains).")
+  in
+  let clients_arg =
+    Arg.(value & opt int 160 & info [ "clients"; "c" ] ~doc:"Concurrent clients across the router.")
+  in
+  let variants_arg =
+    Arg.(
+      value & opt int 96
+      & info [ "variants" ]
+          ~doc:"Parameterized (cacheable) query templates in the workload.")
+  in
+  let think_arg =
+    Arg.(value & opt float 10. & info [ "think" ] ~doc:"Client think time, seconds (mean).")
+  in
+  let warmup_arg =
+    Arg.(value & opt float 600. & info [ "warmup" ] ~doc:"Warm-up seconds (excluded from results).")
+  in
+  let measure_arg =
+    Arg.(value & opt float 900. & info [ "measure" ] ~doc:"Measured window, seconds.")
+  in
+  let slice_arg =
+    Arg.(value & opt float 30. & info [ "slice" ] ~doc:"Time-slice width for throughput, seconds.")
+  in
+  let total_gib_arg =
+    Arg.(
+      value & opt float 24.
+      & info [ "total-gib" ] ~doc:"Machine memory split across the shards, GiB.")
+  in
+  let defenses_arg =
+    Arg.(
+      value
+      & opt (enum [ ("on", `On); ("off", `Off); ("both", `Both) ]) `Both
+      & info [ "defenses" ]
+          ~doc:
+            "Defense stack: $(b,on), $(b,off), or $(b,both) (the A/B \
+             comparison). Tuning flags require the defended arm.")
+  in
+  let schedule_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("crash", `Crash); ("invalidation", `Invalidation); ("both", `Both) ])
+          `Invalidation
+      & info [ "schedule" ]
+          ~doc:
+            "Storm trigger: $(b,crash) (shard 1 rejoins cold), \
+             $(b,invalidation) (every plan cache flushed in place), or \
+             $(b,both).")
+  in
+  let sf_wait_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "sf-wait" ]
+          ~doc:
+            "Singleflight follower wait, seconds, before compiling solo. \
+             Conflicts with $(b,--defenses off).")
+  in
+  let budget_tokens_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget-tokens" ]
+          ~doc:
+            "Initial retry-budget tokens per client. Conflicts with \
+             $(b,--defenses off).")
+  in
+  let lifo_after_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "lifo-after" ]
+          ~doc:
+            "Seconds of sustained gateway standing before the FIFO->LIFO \
+             flip. Conflicts with $(b,--defenses off).")
+  in
+  let warm_prime_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "warm-prime" ]
+          ~doc:
+            "Hottest templates warm-primed on shard rejoin. Conflicts \
+             with $(b,--defenses off).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Also write a per-seed storm report to FILE (CI artifact). With \
+             several $(b,--seeds), -seedN is inserted before the extension.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PREFIX"
+          ~doc:
+            "Additionally re-run the defended first-schedule cell with tracing and \
+             write PREFIX-seedN.json Chrome traces (storm begin/end \
+             instants, singleflight coalesces, queue-discipline shifts, \
+             gateway waits).")
+  in
+  let seeds_arg =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "seeds" ]
+          ~doc:
+            "Run every cell at each of these seeds (overrides --seed); the \
+             independent runs fan out across --jobs domains.")
+  in
+  let action shards clients variants think warmup measure slice total_gib
+      defenses schedule sf_wait budget_tokens lifo_after warm_prime seed seeds
+      out trace_prefix jobs =
+    check_duplicate_seeds seeds;
+    let fail msg =
+      prerr_endline (Printf.sprintf "dbsim: error: %s (try 'dbsim --help')" msg);
+      exit Cmd.Exit.cli_error
+    in
+    (* Structured conflicts, caught before any simulation runs: every
+       tuning flag parameterizes a defense, so with the defended arm
+       excluded there is nothing for it to tune. *)
+    (if defenses = `Off then
+       let conflict name = function
+         | Some _ ->
+             fail
+               (Printf.sprintf
+                  "--%s conflicts with --defenses off (it tunes a defense \
+                   that arm never runs)"
+                  name)
+         | None -> ()
+       in
+       conflict "sf-wait" sf_wait;
+       conflict "budget-tokens" budget_tokens;
+       conflict "lifo-after" lifo_after;
+       conflict "warm-prime" (Option.map float_of_int warm_prime));
+    let nonpos name = function
+      | Some v when v <= 0. -> fail (Printf.sprintf "--%s must be positive" name)
+      | _ -> ()
+    in
+    nonpos "sf-wait" sf_wait;
+    nonpos "budget-tokens" budget_tokens;
+    nonpos "lifo-after" lifo_after;
+    (match warm_prime with
+    | Some k when k < 0 -> fail "--warm-prime must be >= 0"
+    | _ -> ());
+    let seeds = match seeds with [] -> [ seed ] | l -> l in
+    let total_bytes =
+      int_of_float (total_gib *. float_of_int (Dbmem.Units.gib 1))
+    in
+    let cfg_of ~seed ~schedule ~defenses =
+      {
+        Server.Storms.s_shards = shards;
+        s_clients = clients;
+        s_variants = variants;
+        s_think = think;
+        s_warmup = warmup;
+        s_measure = measure;
+        s_slice = slice;
+        s_total = total_bytes;
+        s_defenses = defenses;
+        s_sf_wait = (if defenses then sf_wait else None);
+        s_budget_tokens = (if defenses then budget_tokens else None);
+        s_lifo_after = (if defenses then lifo_after else None);
+        s_warm_prime = (if defenses then warm_prime else None);
+        s_seed = seed;
+        s_schedule = schedule;
+      }
+    in
+    let schedules =
+      match schedule with
+      | `Crash -> [ Server.Storms.Cold_crash ]
+      | `Invalidation -> [ Server.Storms.Mass_invalidation ]
+      | `Both -> [ Server.Storms.Cold_crash; Server.Storms.Mass_invalidation ]
+    in
+    let arms =
+      match defenses with
+      | `On -> [ true ]
+      | `Off -> [ false ]
+      | `Both -> [ true; false ]
+    in
+    let kinds =
+      List.concat_map (fun sch -> List.map (fun d -> (sch, d)) arms) schedules
+    in
+    let cells =
+      List.concat_map
+        (fun seed ->
+          List.map
+            (fun (schedule, defenses) -> cfg_of ~seed ~schedule ~defenses)
+            kinds)
+        seeds
+    in
+    List.iter Server.Storms.validate cells;
+    let run_cell cfg = Server.Storms.run cfg in
+    let outcomes =
+      if jobs <= 1 then List.map run_cell cells
+      else Parallel.Pool.run ~jobs run_cell cells
+    in
+    let per_seed = List.length kinds in
+    let rec group = function
+      | [] -> []
+      | rest ->
+          let rec take n acc = function
+            | l when n = 0 -> (List.rev acc, l)
+            | x :: l -> take (n - 1) (x :: acc) l
+            | [] -> assert false
+          in
+          let seed_outcomes, rest = take per_seed [] rest in
+          seed_outcomes :: group rest
+    in
+    let multi = List.length seeds > 1 in
+    List.iter2
+      (fun seed seed_outcomes ->
+        let open Server.Storms in
+        Printf.printf
+          "\nCold-cache storm, seed %d (machine %s, %d shards, %d clients):\n"
+          seed
+          (Dbmem.Units.bytes_to_string total_bytes)
+          shards clients;
+        List.iter Server.Report.storms_section seed_outcomes;
+        List.iter
+          (fun sch ->
+            let find d =
+              List.find_opt
+                (fun o ->
+                  o.o_config.s_schedule = sch && o.o_config.s_defenses = d)
+                seed_outcomes
+            in
+            match (find true, find false) with
+            | Some defended, Some undefended ->
+                Printf.printf "\n  [%s]" (schedule_name sch);
+                Server.Report.storms_verdict ~defended ~undefended
+            | _ -> ())
+          schedules;
+        (match seed_out_path ~multi out seed with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            let pr fmt = Printf.fprintf oc fmt in
+            pr "storm report, seed %d, machine %s, %d shards, %d clients\n"
+              seed
+              (Dbmem.Units.bytes_to_string total_bytes)
+              shards clients;
+            pr
+              "schedule,defenses,pre_rate,post_rate,recovery_s,recovered,\
+               retry_amp,dup_compiles,coalesced,storms,primed,lifo_shifts,\
+               deadline_sheds,budget_denials,submitted,ok,failed,rejected,\
+               retries,p50_ms,p99_ms,abandoned\n";
+            List.iter
+              (fun o ->
+                pr
+                  "%s,%b,%.2f,%.2f,%s,%b,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,\
+                   %d,%d,%.1f,%.1f,%d\n"
+                  (schedule_name o.o_config.s_schedule)
+                  o.o_config.s_defenses o.pre_rate o.post_rate
+                  (if o.recovered then Printf.sprintf "%.1f" o.recovery_s
+                   else "inf")
+                  o.recovered o.retry_amp o.dup_compiles o.coalesced
+                  o.storms_detected o.primed o.lifo_shifts o.deadline_sheds
+                  o.budget_denials o.submitted o.ok o.failed o.rejected
+                  o.retries o.p50_ms o.p99_ms o.cl_abandoned)
+              seed_outcomes;
+            List.iter
+              (fun sch ->
+                let find d =
+                  List.find_opt
+                    (fun o ->
+                      o.o_config.s_schedule = sch && o.o_config.s_defenses = d)
+                    seed_outcomes
+                in
+                match (find true, find false) with
+                | Some defended, Some undefended ->
+                    pr "%s defense_win=%b\n" (schedule_name sch)
+                      (faster_recovery ~defended ~undefended)
+                | _ -> ())
+              schedules;
+            close_out oc;
+            Printf.printf "wrote %s\n" path);
+        match trace_prefix with
+        | None -> ()
+        | Some prefix ->
+            let trace = Obs.Trace.create () in
+            ignore
+              (Server.Storms.run ~trace
+                 (cfg_of ~seed ~schedule:(List.hd schedules) ~defenses:true));
+            let path = Printf.sprintf "%s-seed%d.json" prefix seed in
+            Obs.Export.chrome_to_file path (Obs.Trace.records trace);
+            Printf.printf "wrote %s\n" path)
+      seeds (group outcomes)
+  in
+  Cmd.v
+    (Cmd.info "storm"
+       ~doc:
+         "Metastable-failure experiment: cold-cache storms (crash-failover \
+          or mass invalidation) with the defense stack — singleflight, \
+          retry budgets, adaptive queues, warm-priming — on vs off.")
+    Term.(
+      const action $ shards_arg $ clients_arg $ variants_arg $ think_arg
+      $ warmup_arg $ measure_arg $ slice_arg $ total_gib_arg $ defenses_arg
+      $ schedule_arg $ sf_wait_arg $ budget_tokens_arg $ lifo_after_arg
+      $ warm_prime_arg $ seed_arg $ seeds_arg $ out_arg $ trace_arg $ jobs_arg)
+
 let cache_cmd =
   let mode_arg =
     Arg.(
@@ -1282,7 +1590,8 @@ let () =
   let group =
     Cmd.group (Cmd.info "dbsim" ~doc)
       [ run_cmd; compare_cmd; sweep_cmd; chaos_cmd; health_cmd; tenants_cmd;
-        shards_cmd; cache_cmd; trace_cmd; info_cmd; verbose_cmd; sql_cmd ]
+        shards_cmd; cache_cmd; storm_cmd; trace_cmd; info_cmd; verbose_cmd;
+        sql_cmd ]
   in
   let errbuf = Buffer.create 256 in
   let err = Format.formatter_of_buffer errbuf in

@@ -19,11 +19,14 @@ let emit t ~qid phase ~priority =
     Obs.Trace.emit t.mtrace ~time:(Sim.Engine.now t.meng) ~qid
       (Obs.Event.Gateway { gate = t.mname; phase; priority })
 
-let acquire t ?(priority = 0) ?(qid = "") () =
+let acquire t ?(priority = 0) ?(qid = "") ?timeout_override () =
   emit t ~qid Obs.Event.Wait ~priority;
-  match
-    Sim.Resource.Sem.acquire t.sem ~priority ~timeout:t.mtimeout ~n:1 ()
-  with
+  let timeout =
+    match timeout_override with
+    | Some dt -> Float.min t.mtimeout dt
+    | None -> t.mtimeout
+  in
+  match Sim.Resource.Sem.acquire t.sem ~priority ~timeout ~n:1 () with
   | Sim.Resource.Acquired ->
       emit t ~qid Obs.Event.Acquired ~priority;
       Ok ()
@@ -36,6 +39,9 @@ let release ?(qid = "") t =
   emit t ~qid Obs.Event.Release ~priority:0;
   Sim.Resource.Sem.release t.sem ~n:1
 let set_slots t n = Sim.Resource.Sem.set_capacity t.sem n
+let set_discipline t d = Sim.Resource.Sem.set_discipline t.sem d
+let discipline t = Sim.Resource.Sem.discipline t.sem
+let mean_wait t = Sim.Stats.Online.mean (Sim.Resource.Sem.wait_stats t.sem)
 let name t = t.mname
 let slots t = Sim.Resource.Sem.capacity t.sem
 let in_use t = Sim.Resource.Sem.in_use t.sem

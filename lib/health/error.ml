@@ -7,6 +7,7 @@ type code =
   | Watchdog_cancelled
   | Deadline_exceeded
   | Shard_unavailable
+  | Retry_budget_exhausted
 
 type severity = Severe | Warning | Informational
 type t = { code : code; detail : string }
@@ -23,6 +24,7 @@ let all_codes =
     Watchdog_cancelled;
     Deadline_exceeded;
     Shard_unavailable;
+    Retry_budget_exhausted;
   ]
 
 let code_name = function
@@ -34,25 +36,28 @@ let code_name = function
   | Watchdog_cancelled -> "watchdog-cancelled"
   | Deadline_exceeded -> "deadline-exceeded"
   | Shard_unavailable -> "shard-unavailable"
+  | Retry_budget_exhausted -> "retry-budget-exhausted"
 
 let sql_code = function
   | Insufficient_memory -> Some 701
   | Memory_wait_timeout -> Some 8645
   | Low_memory_condition -> Some 8651
   | Admission_shed | Breaker_open | Watchdog_cancelled | Deadline_exceeded
-  | Shard_unavailable ->
+  | Shard_unavailable | Retry_budget_exhausted ->
       None
 
 let severity = function
   | Insufficient_memory | Memory_wait_timeout | Low_memory_condition -> Severe
   | Watchdog_cancelled | Deadline_exceeded -> Warning
-  | Admission_shed | Breaker_open | Shard_unavailable -> Informational
+  | Admission_shed | Breaker_open | Shard_unavailable
+  | Retry_budget_exhausted ->
+      Informational
 
 let retryable = function
   | Insufficient_memory | Memory_wait_timeout | Low_memory_condition
   | Admission_shed | Breaker_open | Shard_unavailable ->
       true
-  | Watchdog_cancelled | Deadline_exceeded -> false
+  | Watchdog_cancelled | Deadline_exceeded | Retry_budget_exhausted -> false
 
 let severity_name = function
   | Severe -> "severe"

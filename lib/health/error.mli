@@ -26,6 +26,10 @@ type code =
       (** the shard holding this query's placement is down (or its
           connection was lost mid-flight when the shard crashed) — a
           routing-layer condition, retryable against a surviving shard *)
+  | Retry_budget_exhausted
+      (** the client's retry token bucket is empty: retry load is capped at
+          a fixed fraction of goodput, so during an outage further retries
+          fail fast here instead of amplifying the storm *)
 
 type severity = Severe | Warning | Informational
 

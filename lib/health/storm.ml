@@ -1,0 +1,127 @@
+type config = {
+  enabled : bool;
+  window_s : float;
+  surge_factor : float;
+  min_misses : int;
+  calm_windows : int;
+}
+
+let default_config =
+  {
+    enabled = true;
+    window_s = 30.0;
+    surge_factor = 4.0;
+    min_misses = 12;
+    calm_windows = 2;
+  }
+
+let disabled = { default_config with enabled = false }
+
+(* The EWMA weight for folding a closed window's miss count into the
+   baseline. Slow enough that a multi-window storm does not teach the
+   detector that storms are normal before it has even cleared. *)
+let ewma_alpha = 0.2
+
+type t = {
+  eng : Sim.Engine.t;
+  config : config;
+  trace : Obs.Trace.t;
+  mutable window_start : float;
+  mutable cur_count : int;  (* compile arrivals in the open window *)
+  mutable baseline : float;  (* EWMA of closed-window miss counts *)
+  mutable storming : bool;
+  mutable storm_started_at : float;  (* valid while storming *)
+  mutable quiet : int;  (* consecutive calm closed windows while storming *)
+  mutable storms_total : int;
+  hot : (string, int) Hashtbl.t;  (* cumulative misses per template *)
+  mutable on_change : bool -> unit;
+}
+
+let create ?(trace = Obs.Trace.null) eng config =
+  if config.window_s <= 0. then invalid_arg "Storm: window_s must be > 0";
+  if config.surge_factor < 1. then
+    invalid_arg "Storm: surge_factor must be >= 1";
+  if config.min_misses < 1 then invalid_arg "Storm: min_misses must be >= 1";
+  if config.calm_windows < 1 then
+    invalid_arg "Storm: calm_windows must be >= 1";
+  {
+    eng;
+    config;
+    trace;
+    window_start = Sim.Engine.now eng;
+    cur_count = 0;
+    baseline = 0.;
+    storming = false;
+    storm_started_at = 0.;
+    quiet = 0;
+    storms_total = 0;
+    hot = Hashtbl.create 16;
+    on_change = (fun _ -> ());
+  }
+
+let set_on_change t f = t.on_change <- f
+
+let emit t event =
+  if Obs.Trace.enabled t.trace then
+    Obs.Trace.emit t.trace ~time:(Sim.Engine.now t.eng) ~qid:"storm" event
+
+(* The per-window arrival count that separates a storm from traffic: the
+   surge factor over the learned baseline, but never below the absolute
+   floor (a quiet system's baseline is ~0 and any flurry would trip it). *)
+let threshold t =
+  max (float_of_int t.config.min_misses) (t.config.surge_factor *. t.baseline)
+
+let end_storm t =
+  t.storming <- false;
+  t.quiet <- 0;
+  let duration_s = Sim.Engine.now t.eng -. t.storm_started_at in
+  emit t (Obs.Event.Storm_end { duration_s });
+  t.on_change false
+
+(* Lazily close every window that has fully elapsed: no timer process, an
+   idle detector costs nothing. Each closed window feeds the EWMA and,
+   while storming, counts toward the calm streak that ends the episode. *)
+let roll t =
+  let now = Sim.Engine.now t.eng in
+  while now -. t.window_start >= t.config.window_s do
+    let count = t.cur_count in
+    if t.storming then
+      if float_of_int count < threshold t then (
+        t.quiet <- t.quiet + 1;
+        if t.quiet >= t.config.calm_windows then end_storm t)
+      else t.quiet <- 0;
+    t.baseline <-
+      (ewma_alpha *. float_of_int count) +. ((1. -. ewma_alpha) *. t.baseline);
+    t.cur_count <- 0;
+    t.window_start <- t.window_start +. t.config.window_s
+  done
+
+let note_compile t ~template =
+  if t.config.enabled then (
+    roll t;
+    t.cur_count <- t.cur_count + 1;
+    Hashtbl.replace t.hot template
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.hot template));
+    if (not t.storming) && float_of_int t.cur_count >= threshold t then (
+      t.storming <- true;
+      t.storm_started_at <- Sim.Engine.now t.eng;
+      t.quiet <- 0;
+      t.storms_total <- t.storms_total + 1;
+      emit t
+        (Obs.Event.Storm_begin { misses = t.cur_count; baseline = t.baseline });
+      t.on_change true))
+
+let active t =
+  if not t.config.enabled then false
+  else (
+    roll t;
+    t.storming)
+
+let storms_total t = t.storms_total
+let baseline t = t.baseline
+
+let hottest t ~k =
+  Hashtbl.fold (fun template count acc -> (template, count) :: acc) t.hot []
+  |> List.sort (fun (ta, ca) (tb, cb) ->
+         if ca <> cb then compare cb ca else compare ta tb)
+  |> List.filteri (fun i _ -> i < k)

@@ -81,6 +81,10 @@ type t =
       mc_entries : int;
       hit_rate_pct : int;
     }
+  | Storm_begin of { misses : int; baseline : float }
+  | Storm_end of { duration_s : float }
+  | Singleflight_coalesce of { template : string; waiters : int }
+  | Queue_shift of { gate : string; lifo : bool }
   | Custom of { cat : string; name : string; args : (string * value) list }
 
 let category = function
@@ -100,6 +104,8 @@ let category = function
   | Midcache_lookup _ | Midcache_store _ | Midcache_invalidate _
   | Midcache_shrink _ | Midcache_sample _ ->
       "midcache"
+  | Storm_begin _ | Storm_end _ | Singleflight_coalesce _ | Queue_shift _ ->
+      "storm"
   | Custom { cat; _ } -> cat
 
 let name = function
@@ -137,4 +143,8 @@ let name = function
   | Midcache_invalidate _ -> "midcache:invalidate"
   | Midcache_shrink _ -> "midcache:shrink"
   | Midcache_sample _ -> "midcache:sample"
+  | Storm_begin _ -> "storm:begin"
+  | Storm_end _ -> "storm:end"
+  | Singleflight_coalesce _ -> "storm:coalesce"
+  | Queue_shift _ -> "storm:queue_shift"
   | Custom { cat; name; _ } -> cat ^ ":" ^ name

@@ -132,12 +132,23 @@ type t =
       mc_entries : int;
       hit_rate_pct : int;
     }  (** periodic mid-tier cache counters for the Chrome trace *)
+  | Storm_begin of { misses : int; baseline : float }
+      (** the storm detector saw a compile-miss surge: [misses] arrivals in
+          the current window against an EWMA [baseline] per window *)
+  | Storm_end of { duration_s : float }
+      (** the miss surge subsided after the required calm windows *)
+  | Singleflight_coalesce of { template : string; waiters : int }
+      (** a duplicate compile of [template] coalesced onto the in-flight
+          leader; [waiters] sessions are now sharing that optimization *)
+  | Queue_shift of { gate : string; lifo : bool }
+      (** a gateway's queue discipline flipped ([lifo] true: newest-first
+          under sustained standing; false: back to FIFO) *)
   | Custom of { cat : string; name : string; args : (string * value) list }
 
 (** Coarse grouping used by exporters and summaries: one of ["compile"],
     ["gateway"], ["broker"], ["grant"], ["exec"], ["resilience"], ["mem"],
-    ["health"], ["arbiter"], ["shard"], ["midcache"] or the category of
-    the custom event. *)
+    ["health"], ["arbiter"], ["shard"], ["midcache"], ["storm"] or the
+    category of the custom event. *)
 val category : t -> string
 
 (** Short display name, e.g. ["gateway:acquired"]. *)

@@ -274,6 +274,23 @@ let lower intern (r : Trace.record) : emitted list =
         ev 'C' "midcache:hit_rate"
           ~args:[ ("pct", Event.I hit_rate_pct) ];
       ]
+  | Event.Storm_begin { misses; baseline } ->
+      [
+        ev 'i' "storm_begin"
+          ~args:[ ("misses", Event.I misses); ("baseline", Event.F baseline) ];
+      ]
+  | Event.Storm_end { duration_s } ->
+      [ ev 'i' "storm_end" ~args:[ ("duration_s", Event.F duration_s) ] ]
+  | Event.Singleflight_coalesce { template; waiters } ->
+      [
+        ev 'i' "singleflight_coalesce"
+          ~args:[ ("template", Event.S template); ("waiters", Event.I waiters) ];
+      ]
+  | Event.Queue_shift { gate; lifo } ->
+      [
+        ev 'i' "queue_shift"
+          ~args:[ ("gate", Event.S gate); ("lifo", Event.B lifo) ];
+      ]
   | Event.Custom { cat; name; args } -> [ ev 'i' name ~cat ~args ]
 
 let chrome_event fmt ~first e =
@@ -445,6 +462,13 @@ let fields_of_event = function
         ("entries", Event.I mc_entries);
         ("hit_rate_pct", Event.I hit_rate_pct);
       ]
+  | Event.Storm_begin { misses; baseline } ->
+      [ ("misses", Event.I misses); ("baseline", Event.F baseline) ]
+  | Event.Storm_end { duration_s } -> [ ("duration_s", Event.F duration_s) ]
+  | Event.Singleflight_coalesce { template; waiters } ->
+      [ ("template", Event.S template); ("waiters", Event.I waiters) ]
+  | Event.Queue_shift { gate; lifo } ->
+      [ ("gate", Event.S gate); ("lifo", Event.B lifo) ]
   | Event.Custom { args; _ } -> args
 
 let jsonl fmt records =

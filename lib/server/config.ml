@@ -1,3 +1,42 @@
+(* Storm-defense layer (metastable-failure defenses). Everything off in
+   [no_defense] so every pre-existing configuration replays its seed
+   byte-for-byte; [defended] is the full stack the storm experiment
+   switches on. *)
+type defense = {
+  d_singleflight : bool;  (* coalesce concurrent same-statement compiles *)
+  d_sf_wait_s : float;  (* follower wait bound before compiling solo *)
+  d_budget : Resilience.Budget.config option;  (* retry token bucket *)
+  d_adaptive_queues : bool;  (* FIFO->LIFO under sustained standing *)
+  d_lifo_after_s : float;
+  d_deadline_shed : bool;  (* shed gateway waiters past their deadline *)
+  d_storm : Health.Storm.config;  (* miss-storm detector *)
+  d_warm_prime : int;  (* hottest templates primed on shard rejoin; 0 = off *)
+}
+
+let no_defense =
+  {
+    d_singleflight = false;
+    d_sf_wait_s = 120.;
+    d_budget = None;
+    d_adaptive_queues = false;
+    d_lifo_after_s = 20.;
+    d_deadline_shed = false;
+    d_storm = Health.Storm.disabled;
+    d_warm_prime = 0;
+  }
+
+let defended =
+  {
+    d_singleflight = true;
+    d_sf_wait_s = 120.;
+    d_budget = Some Resilience.Budget.default_config;
+    d_adaptive_queues = true;
+    d_lifo_after_s = 20.;
+    d_deadline_shed = true;
+    d_storm = Health.Storm.default_config;
+    d_warm_prime = 4;
+  }
+
 type t = {
   cpus : int;
   memory_bytes : int;
@@ -22,6 +61,7 @@ type t = {
   seed : int;
   resilience : Resilience.t;
   supervision : Health.Supervise.config;
+  defense : defense;
   faults : Faultsim.Fault.spec list;
 }
 
@@ -56,6 +96,7 @@ let default () =
     seed = 42;
     resilience = Resilience.disabled;
     supervision = Health.Supervise.disabled;
+    defense = no_defense;
     faults = [];
   }
 
@@ -88,6 +129,18 @@ let pp ppf t =
     Qcore.Throttle_config.pp t.throttle Resilience.pp t.resilience;
   if t.supervision.Health.Supervise.enabled then
     Format.fprintf ppf "@,supervision ON: watchdog + starvation auditor + breakers";
+  if
+    t.defense.d_singleflight || t.defense.d_budget <> None
+    || t.defense.d_adaptive_queues || t.defense.d_deadline_shed
+    || t.defense.d_storm.Health.Storm.enabled
+  then
+    Format.fprintf ppf
+      "@,storm defense ON: singleflight=%b budget=%b adaptive-queues=%b \
+       deadline-shed=%b detector=%b warm-prime=%d"
+      t.defense.d_singleflight
+      (t.defense.d_budget <> None)
+      t.defense.d_adaptive_queues t.defense.d_deadline_shed
+      t.defense.d_storm.Health.Storm.enabled t.defense.d_warm_prime;
   match t.faults with
   | [] -> ()
   | faults ->

@@ -1,6 +1,35 @@
 (** Server configuration. {!default} models the paper's testbed: 8 CPUs,
     4 GB of memory, 8 SCSI disks in RAID-0 (§5.2). *)
 
+(** Metastable-failure (storm) defense knobs — see DESIGN.md §11. All off
+    in {!no_defense}, the default, so pre-existing configurations replay
+    their seed byte-for-byte. *)
+type defense = {
+  d_singleflight : bool;
+      (** coalesce concurrent compiles of one canonical statement onto a
+          single in-flight optimization ({!Plancache.Singleflight}) *)
+  d_sf_wait_s : float;
+      (** how long a coalesced follower waits for the leader before
+          giving up and compiling solo *)
+  d_budget : Resilience.Budget.config option;
+      (** per-client retry token bucket; [None] = unconditional retries *)
+  d_adaptive_queues : bool;
+      (** gateway FIFO->LIFO flip under sustained queue standing *)
+  d_lifo_after_s : float;  (** standing time before the flip *)
+  d_deadline_shed : bool;
+      (** shed gateway waiters whose remaining deadline cannot be met *)
+  d_storm : Health.Storm.config;  (** compile-miss storm detector *)
+  d_warm_prime : int;
+      (** number of hottest templates warm-primed into a rejoining
+          shard's plan cache; [0] disables priming *)
+}
+
+val no_defense : defense
+
+(** Every defense on at default strength (the storm experiment's
+    defenses-on arm). *)
+val defended : defense
+
 type t = {
   cpus : int;
   memory_bytes : int;
@@ -30,6 +59,7 @@ type t = {
   supervision : Health.Supervise.config;
       (** watchdog / starvation auditor / circuit breakers / broker
           insistence; {!Health.Supervise.disabled} by default *)
+  defense : defense;  (** storm defenses; {!no_defense} by default *)
   faults : Faultsim.Fault.spec list;
       (** chaos schedule injected by {!Experiment.run} / [dbsim chaos];
           empty for benign runs *)

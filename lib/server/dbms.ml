@@ -30,6 +30,16 @@ type t = {
       (* jitter stream, split only when resilience is on so the disabled
          configuration replays the seed byte for byte *)
   super : supervisor option;
+  sflight : Plancache.Singleflight.t;
+      (* always present: Observe mode costs nothing and blocks nobody, it
+         only counts the duplicate compiles coalescing would have saved,
+         so a defenses-off run can report its duplication factor *)
+  storm : Health.Storm.t;
+  prime_reps : (string, Optimizer.Query.t) Hashtbl.t;
+      (* one representative query per template, for warm-priming *)
+  template_counts : (string, int) Hashtbl.t;
+      (* submissions per template: the popularity order priming follows *)
+  mutable primed : int;
 }
 
 (* Queries are named "<template>#<serial>"; the breaker keys on the
@@ -202,6 +212,31 @@ let create ?(trace = Obs.Trace.null) eng cfg cat =
       Some { wdog; starv; breakers }
     end
   in
+  let defense = cfg.Config.defense in
+  let sflight =
+    Plancache.Singleflight.create
+      ~mode:
+        (if defense.Config.d_singleflight then Plancache.Singleflight.Coalesce
+         else Plancache.Singleflight.Observe)
+      eng
+  in
+  (if Obs.Trace.enabled trace then
+     Plancache.Singleflight.set_on_coalesce sflight (fun ~key ~waiters ->
+         let template =
+           match String.index_opt key '|' with
+           | Some i -> String.sub key 0 i
+           | None -> key
+         in
+         Obs.Trace.emit trace ~time:(Sim.Engine.now eng) ~qid:template
+           (Obs.Event.Singleflight_coalesce { template; waiters })));
+  let storm = Health.Storm.create ~trace eng defense.Config.d_storm in
+  if defense.Config.d_adaptive_queues || defense.Config.d_deadline_shed then
+    Qcore.Compile_gov.set_defense gov
+      {
+        Qcore.Compile_gov.adaptive_lifo = defense.Config.d_adaptive_queues;
+        lifo_after_s = defense.Config.d_lifo_after_s;
+        deadline_shed = defense.Config.d_deadline_shed;
+      };
   {
     eng;
     trace;
@@ -228,6 +263,11 @@ let create ?(trace = Obs.Trace.null) eng cfg cat =
     ballast;
     retry_rng;
     super;
+    sflight;
+    storm;
+    prime_reps = Hashtbl.create 16;
+    template_counts = Hashtbl.create 16;
+    primed = 0;
   }
 
 let start t =
@@ -255,9 +295,12 @@ let emit t ~qid ev =
    at the next allocation ([by_watchdog] distinguishes that abort from a
    deadline when mapping to the error taxonomy — the optimizer's abort
    vocabulary stays supervision-free). *)
-let compile t ?deadline ?watch ~by_watchdog q =
+let compile t ?deadline ?watch ~by_watchdog ~gov_shed q =
   let session =
-    Qcore.Compile_gov.begin_compile ~qid:q.Optimizer.Query.qid t.gov
+    (* The session's deadline feeds the governor's deadline-aware shed:
+       with that defense on, a gateway wait is capped at the deadline and
+       a hopeless waiter is refused before it enqueues. *)
+    Qcore.Compile_gov.begin_compile ~qid:q.Optimizer.Query.qid ?deadline t.gov
   in
   let check_deadline () =
     match deadline with
@@ -287,6 +330,14 @@ let compile t ?deadline ?watch ~by_watchdog q =
             ->
               raise
                 (Optimizer.Env.Aborted (Optimizer.Env.Gateway_timeout detail))
+          | Error ({ Health.Error.code = Health.Error.Deadline_exceeded; _ } as e)
+            ->
+              (* The governor's deadline shed refused or cut short a
+                 gateway wait. Keep the structured error (its detail names
+                 the shedding gate) and abort through the optimizer's
+                 cancel vocabulary. *)
+              gov_shed := Some e;
+              raise (Optimizer.Env.Aborted Optimizer.Env.Cancelled)
           | Error _ ->
               raise (Optimizer.Env.Aborted Optimizer.Env.Out_of_memory));
       cpu = (fun s -> Execsim.Cpu.busy t.cpu s);
@@ -348,12 +399,15 @@ let compile_degraded t q =
 (* Admission control: with [in_flight] compilations already holding or
    chasing compile memory and each expected to peak near the observed
    mean, admitting another would push predicted demand past
-   [shed_factor * broker target]. Only engages under broker pressure, so a
-   benign system never sheds. *)
+   [shed_factor * broker target]. Only engages under broker pressure — or
+   during an active miss storm, when the detector's recovery mode
+   tightens admission without waiting for memory pressure to confirm what
+   the arrival trend already shows — so a benign system never sheds. *)
 let should_shed t =
   let r = t.cfg.Config.resilience in
   r.Resilience.enabled && r.Resilience.shed_enabled
-  && Qcore.Compile_gov.pressure t.gov <> Qcore.Compile_gov.Calm
+  && (Qcore.Compile_gov.pressure t.gov <> Qcore.Compile_gov.Calm
+     || Health.Storm.active t.storm)
   &&
   let target = Qcore.Compile_gov.broker_target t.gov in
   target > 0
@@ -377,32 +431,67 @@ let abort_to_error ~by_watchdog = function
         Health.Error.make ~detail:"compile" Health.Error.Watchdog_cancelled
       else Health.Error.make ~detail:"compile" Health.Error.Deadline_exceeded
 
+(* The full Cascades search, inserted into the plan cache on success. *)
+let compile_full t ~deadline ~watch q =
+  let by_watchdog = ref false in
+  let gov_shed = ref None in
+  match compile t ?deadline ?watch ~by_watchdog ~gov_shed q with
+  | Ok (r, elapsed) ->
+      let compile_cost =
+        float_of_int r.Optimizer.Cascades.stats.Optimizer.Cascades.tasks
+        *. t.cfg.Config.optimizer_params.Optimizer.Cascades.task_cpu
+      in
+      Plancache.Cache.insert t.cache ~key:q.Optimizer.Query.qid
+        ~plan:r.Optimizer.Cascades.plan ~compile_cost;
+      Ok (r.Optimizer.Cascades.plan, elapsed, false)
+  | Error reason -> (
+      match !gov_shed with
+      | Some e -> Error e
+      | None -> Error (abort_to_error ~by_watchdog:!by_watchdog reason))
+
 (* One compile attempt, choosing the ladder rung. Cached plans bypass
    everything: they cost no compile memory. Degraded plans are *not*
    cached — a repeat of the same query in calmer weather deserves the real
-   optimizer. *)
-let plan_for t ~degraded ~deadline ~watch q =
+   optimizer. Full compiles go through singleflight, keyed on the
+   canonical statement (Midcache.Frontend keying, so parameterized
+   replays of one template share a key): the first miss leads and
+   compiles, concurrent misses of the same statement coalesce onto it and
+   re-probe the cache when it lands — a cold cache costs one compile per
+   template, not one per client. [sf_depth] bounds the re-probe
+   recursion: a follower woken by a failed (or evicted) leader re-enters
+   at most twice, then compiles solo rather than chasing races. *)
+let rec plan_for t ~degraded ~deadline ~watch ?(sf_depth = 0) q =
   match Plancache.Cache.lookup t.cache q.Optimizer.Query.qid with
   | Some plan ->
       Metrics.record_cache_hit t.metrics;
       emit t ~qid:q.Optimizer.Query.qid Obs.Event.Cache_hit;
       Ok (plan, 0., false)
   | None when degraded -> (
+      Health.Storm.note_compile t.storm
+        ~template:(template_of_qid q.Optimizer.Query.qid);
       match compile_degraded t q with
       | Ok (plan, elapsed) -> Ok (plan, elapsed, true)
       | Error e -> Error e)
   | None -> (
-      let by_watchdog = ref false in
-      match compile t ?deadline ?watch ~by_watchdog q with
-      | Ok (r, elapsed) ->
-          let compile_cost =
-            float_of_int r.Optimizer.Cascades.stats.Optimizer.Cascades.tasks
-            *. t.cfg.Config.optimizer_params.Optimizer.Cascades.task_cpu
-          in
-          Plancache.Cache.insert t.cache ~key:q.Optimizer.Query.qid
-            ~plan:r.Optimizer.Cascades.plan ~compile_cost;
-          Ok (r.Optimizer.Cascades.plan, elapsed, false)
-      | Error reason -> Error (abort_to_error ~by_watchdog:!by_watchdog reason))
+      Health.Storm.note_compile t.storm
+        ~template:(template_of_qid q.Optimizer.Query.qid);
+      let key = Midcache.Frontend.key_of_query q in
+      match
+        Plancache.Singleflight.enter t.sflight ~key
+          ~max_wait:t.cfg.Config.defense.Config.d_sf_wait_s ()
+      with
+      | `Leader tok ->
+          Fun.protect
+            ~finally:(fun () -> Plancache.Singleflight.exit t.sflight tok)
+            (fun () -> compile_full t ~deadline ~watch q)
+      | `Duplicate ->
+          (* Observe mode: the duplicate is counted, nobody blocks. *)
+          compile_full t ~deadline ~watch q
+      | `Coalesced when sf_depth < 2 ->
+          (* The leader finished (or failed); the shared plan, if any, is
+             in the cache under this query's own qid-aliased key. *)
+          plan_for t ~degraded ~deadline ~watch ~sf_depth:(sf_depth + 1) q
+      | `Coalesced | `Timed_out -> compile_full t ~deadline ~watch q)
 
 let submit t q =
   let r = t.cfg.Config.resilience in
@@ -418,6 +507,15 @@ let submit t q =
   in
   let qid = q.Optimizer.Query.qid in
   let template = template_of_qid qid in
+  (* Popularity book for warm-priming: which templates this server is
+     asked for, and one representative query per template to prime from.
+     Only kept when priming is configured, so other runs stay lean. *)
+  if t.cfg.Config.defense.Config.d_warm_prime > 0 then begin
+    Hashtbl.replace t.template_counts template
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.template_counts template));
+    if not (Hashtbl.mem t.prime_reps template) then
+      Hashtbl.add t.prime_reps template q
+  end;
   let fail (e : Health.Error.t) =
     Metrics.record_error t.metrics e.Health.Error.code;
     emit t ~qid
@@ -612,6 +710,33 @@ let submit_catch t q =
   | Ok () -> Ok ()
   | Error e -> Error (Health.Error.to_string e)
 
+(* Compile [q] into the plan cache without executing it — the warm-prime
+   path. Goes through [plan_for], so a priming compile takes the gateways
+   like any other and, with singleflight on, becomes the leader that
+   storming clients coalesce onto: the prime pays the compile once and
+   the whole queue shares it. *)
+let prime t q =
+  match plan_for t ~degraded:false ~deadline:None ~watch:None q with
+  | Ok (_plan, elapsed, _) ->
+      if elapsed > 0. then t.primed <- t.primed + 1;
+      Ok ()
+  | Error e -> Error e
+
+(* Prime the hottest templates by observed submission count (ties broken
+   by name, so the order is deterministic). Runs in the caller's process
+   and blocks at the gateways; spawn it. *)
+let warm_prime t =
+  let k = t.cfg.Config.defense.Config.d_warm_prime in
+  if k > 0 then
+    Hashtbl.fold (fun tpl count acc -> (tpl, count) :: acc) t.template_counts []
+    |> List.sort (fun (ta, ca) (tb, cb) ->
+           if ca <> cb then compare cb ca else compare ta tb)
+    |> List.filteri (fun i _ -> i < k)
+    |> List.iter (fun (tpl, _) ->
+           match Hashtbl.find_opt t.prime_reps tpl with
+           | Some q -> ignore (prime t q)
+           | None -> ())
+
 (* Wire the configured fault schedule into this server's attack surface.
    [spawn_burst] is supplied by whoever owns the workload (Experiment, the
    chaos driver); without it, Client_burst specs are inert. *)
@@ -723,3 +848,6 @@ let cpu t = t.cpu
 let catalog t = t.cat
 let clerks t = t.clerk_list
 let ballast_clerk t = t.ballast
+let singleflight t = t.sflight
+let storm_detector t = t.storm
+let primed_total t = t.primed

@@ -204,6 +204,79 @@ let shards_section ?baseline (o : Shards.outcome) =
       Printf.printf "  throughput retained vs no-fault: %.0f%%\n"
         (100. *. Shards.retention ~fault:o ~no_fault:b)
 
+(* --- Storm (metastable failure) reports --------------------------- *)
+
+let storm_shard_header =
+  [ "shard"; "state"; "crashes"; "recompiles"; "cache hit"; "storms";
+    "primed"; "sf led"; "coalesced"; "dup compiles" ]
+
+let storm_shard_row (r : Storms.shard_report) =
+  [
+    r.Storms.sr_name;
+    r.Storms.sr_state;
+    string_of_int r.Storms.sr_crashes;
+    string_of_int r.Storms.sr_recompiles;
+    Printf.sprintf "%.0f%%" (100. *. r.Storms.sr_cache_hit);
+    string_of_int r.Storms.sr_storms;
+    string_of_int r.Storms.sr_primed;
+    string_of_int r.Storms.sr_sf_led;
+    string_of_int r.Storms.sr_sf_coalesced;
+    string_of_int r.Storms.sr_sf_dup;
+  ]
+
+let storms_section (o : Storms.outcome) =
+  let cfg = o.Storms.o_config in
+  Printf.printf
+    "\n[%s] defenses %s, seed %d: %d shards, %d clients, %d variants, \
+     machine %s\n"
+    (Storms.schedule_name cfg.Storms.s_schedule)
+    (if cfg.Storms.s_defenses then "ON" else "off")
+    cfg.Storms.s_seed cfg.Storms.s_shards cfg.Storms.s_clients
+    cfg.Storms.s_variants
+    (Dbmem.Units.bytes_to_string cfg.Storms.s_total);
+  table ~header:storm_shard_header
+    (List.map storm_shard_row o.Storms.shard_reports);
+  Printf.printf "  completions %s  (trigger at %.0fs)\n"
+    (sparkline (Array.map snd o.Storms.slices))
+    (Storms.fault_at cfg);
+  Printf.printf
+    "  rate: %.1f/slice before, %.1f after; recovery to 90%%: %s\n"
+    o.Storms.pre_rate o.Storms.post_rate
+    (if o.Storms.recovered then Printf.sprintf "%.0f s" o.Storms.recovery_s
+     else "never (still collapsed at window end)");
+  Printf.printf
+    "  storm: retry amplification %.2fx, %d duplicate compiles (%d \
+     coalesced away), %d episodes detected, %d templates warm-primed\n"
+    o.Storms.retry_amp o.Storms.dup_compiles o.Storms.coalesced
+    o.Storms.storms_detected o.Storms.primed;
+  Printf.printf
+    "  defenses: %d LIFO shifts, %d deadline sheds, %d budget denials\n"
+    o.Storms.lifo_shifts o.Storms.deadline_sheds o.Storms.budget_denials;
+  Printf.printf
+    "  router: %d submitted, %d ok, %d failed (%d rejected), %d retries; \
+     latency p50 %.0f ms, p99 %.0f ms\n"
+    o.Storms.submitted o.Storms.ok o.Storms.failed o.Storms.rejected
+    o.Storms.retries o.Storms.p50_ms o.Storms.p99_ms;
+  Printf.printf "  clients: %d submitted, %d succeeded, %d abandoned\n"
+    o.Storms.cl_submitted o.Storms.cl_succeeded o.Storms.cl_abandoned
+
+(* Head-to-head verdict, the run's last word: the defended arm must come
+   back faster (or come back at all when the other arm never does). *)
+let storms_verdict ~defended ~undefended =
+  let show o =
+    if o.Storms.recovered then Printf.sprintf "%.0f s" o.Storms.recovery_s
+    else "never"
+  in
+  Printf.printf
+    "\n  recovery: defenses on %s, off %s -> %s; retry amplification \
+     %.2fx vs %.2fx; duplicate compiles %d vs %d\n"
+    (show defended) (show undefended)
+    (if Storms.faster_recovery ~defended ~undefended then
+       "defenses recover faster"
+     else "NO DEFENSE WIN")
+    defended.Storms.retry_amp undefended.Storms.retry_amp
+    defended.Storms.dup_compiles undefended.Storms.dup_compiles
+
 let cached_section ?baseline (o : Cached.outcome) =
   let cfg = o.Cached.o_config in
   Printf.printf

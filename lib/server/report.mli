@@ -59,6 +59,23 @@ val shard_row : Shards.shard_result -> string list
     appended. *)
 val shards_section : ?baseline:Shards.outcome -> Shards.outcome -> unit
 
+(** {1 Storm (metastable failure) reports} *)
+
+val storm_shard_header : string list
+
+(** One row per shard: final state, cold-cache recompiles, storm
+    episodes, warm-primed templates and the singleflight ledger. *)
+val storm_shard_row : Storms.shard_report -> string list
+
+(** Print one arm: trigger banner, per-shard table, completions
+    sparkline, the pre/post rates with the recovery verdict, and the
+    storm counters (amplification, duplicate compiles, defenses). *)
+val storms_section : Storms.outcome -> unit
+
+(** The head-to-head line: recovery times, amplification and duplicate
+    compiles, defenses on vs off, and which arm won. *)
+val storms_verdict : defended:Storms.outcome -> undefended:Storms.outcome -> unit
+
 (** {1 Mid-tier cache reports} *)
 
 (** Print one outcome: mode banner, request accounting (hits / misses /

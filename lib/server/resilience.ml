@@ -53,6 +53,78 @@ let backoff t ~attempt ~rng =
   let jitter_span = t.jitter_frac *. base in
   if jitter_span > 0. then base +. Sim.Rng.float rng jitter_span else base
 
+module Budget = struct
+  type config = {
+    initial : float;  (* tokens in the bucket at creation *)
+    earn_per_success : float;  (* tokens added per successful query *)
+    max_tokens : float;  (* bucket cap *)
+    spend_per_retry : float;  (* tokens one retry costs *)
+  }
+
+  (* 10% default earn rate: sustained retry traffic is capped at one
+     retry per ten successes, the fraction at which retries stop being
+     able to keep a storm alive on their own. The initial grant covers a
+     client's cold start before it has any goodput to earn from. *)
+  let default_config =
+    {
+      initial = 10.;
+      earn_per_success = 0.1;
+      max_tokens = 10.;
+      spend_per_retry = 1.;
+    }
+
+  type t = {
+    cfg : config;
+    mutable balance : float;
+    mutable earned : float;  (* cumulative, before the cap *)
+    mutable capped : float;  (* earnings discarded at the cap *)
+    mutable spent : float;
+    mutable denied : int;
+  }
+
+  let create cfg =
+    if cfg.initial < 0. then invalid_arg "Budget: negative initial";
+    if cfg.earn_per_success < 0. then invalid_arg "Budget: negative earn";
+    if cfg.max_tokens < 0. then invalid_arg "Budget: negative cap";
+    if cfg.spend_per_retry <= 0. then
+      invalid_arg "Budget: spend_per_retry must be > 0";
+    {
+      cfg;
+      balance = Float.min cfg.initial cfg.max_tokens;
+      earned = 0.;
+      capped = 0.;
+      spent = 0.;
+      denied = 0;
+    }
+
+  let try_spend t =
+    if t.balance >= t.cfg.spend_per_retry then begin
+      t.balance <- t.balance -. t.cfg.spend_per_retry;
+      t.spent <- t.spent +. t.cfg.spend_per_retry;
+      true
+    end
+    else begin
+      t.denied <- t.denied + 1;
+      false
+    end
+
+  let earn t =
+    t.earned <- t.earned +. t.cfg.earn_per_success;
+    let next = t.balance +. t.cfg.earn_per_success in
+    if next > t.cfg.max_tokens then begin
+      t.capped <- t.capped +. (next -. t.cfg.max_tokens);
+      t.balance <- t.cfg.max_tokens
+    end
+    else t.balance <- next
+
+  let balance t = t.balance
+  let earned t = t.earned
+  let capped t = t.capped
+  let spent t = t.spent
+  let denied t = t.denied
+  let config t = t.cfg
+end
+
 let pp ppf t =
   if not t.enabled then Format.fprintf ppf "resilience OFF"
   else

@@ -46,4 +46,55 @@ val default : t
     negative [jitter_frac] or cap can never yield a negative sleep. *)
 val backoff : t -> attempt:int -> rng:Sim.Rng.t -> float
 
+(** Per-client retry token bucket.
+
+    Unconditional retry counts are what turn a transient into a
+    metastable failure: every failed query retries [max_retries] times,
+    so offered load {e multiplies} exactly when capacity collapses. A
+    budget ties the right to retry to goodput instead — each success
+    earns [earn_per_success] tokens (capped at [max_tokens]), each retry
+    spends [spend_per_retry] — so sustained retry traffic is bounded at
+    [earn_per_success / spend_per_retry] of the success rate. During an
+    outage the bucket drains, further retries fail fast with
+    {!Health.Error.Retry_budget_exhausted}, and the storm is starved of
+    its amplifier. Conservation invariant (tested by QCheck):
+    [min initial max_tokens + earned - capped - spent = balance]. *)
+module Budget : sig
+  type config = {
+    initial : float;
+    earn_per_success : float;
+    max_tokens : float;
+    spend_per_retry : float;
+  }
+
+  (** 10 initial tokens, earn 0.1/success, cap 10, spend 1/retry. *)
+  val default_config : config
+
+  type t
+
+  (** Raises [Invalid_argument] on negative rates or a non-positive
+      spend. *)
+  val create : config -> t
+
+  (** Spend one retry's worth of tokens; [false] (and a denial counted)
+      when the balance cannot cover it. *)
+  val try_spend : t -> bool
+
+  (** Credit one success's earnings, capped at [max_tokens]. *)
+  val earn : t -> unit
+
+  val balance : t -> float
+  val earned : t -> float
+
+  (** Earnings discarded at the [max_tokens] cap. *)
+  val capped : t -> float
+
+  val spent : t -> float
+
+  (** Retries refused for lack of tokens. *)
+  val denied : t -> int
+
+  val config : t -> config
+end
+
 val pp : Format.formatter -> t -> unit

@@ -46,7 +46,10 @@ type t = {
   mutable spills : int;
   mutable hedges : int;
   mutable hedge_wins : int;
+  mutable hedge_losses : int;
+      (* losing completions scrubbed from shard books and breakers *)
   mutable retries : int;
+  mutable budget_denials : int;
   mutable in_flight : int;
 }
 
@@ -96,7 +99,9 @@ let create ?(trace = Obs.Trace.null) ?(cfg = default_config) eng shards =
     spills = 0;
     hedges = 0;
     hedge_wins = 0;
+    hedge_losses = 0;
     retries = 0;
+    budget_denials = 0;
     in_flight = 0;
   }
 
@@ -173,16 +178,33 @@ let alternate t ~except =
 let hedged_submit t sh ~template q =
   let settled = ref false in
   Sim.Engine.suspend (fun wake ->
-      let finish who sh' r =
+      let finish who sh' (r, booking) =
         if not !settled then begin
           settled := true;
           if who = `Hedge then t.hedge_wins <- t.hedge_wins + 1;
           wake (Shard.name sh', r)
         end
+        else begin
+          (* The losing side of the hedge: the client already took the
+             other completion, so this one must be cancelled out of the
+             books. The shard's throughput counters are uncounted (a
+             duplicate completion is not served work), and — only for the
+             primary, the one shard [pick] actually admitted — the
+             breaker's half-open probe slot is handed back, else a hedge
+             that outruns its probe would wedge the breaker half-open
+             with a phantom probe in flight forever. The alternate was
+             never admitted, so touching its breaker would release
+             someone else's probe. *)
+          t.hedge_losses <- t.hedge_losses + 1;
+          Shard.uncount sh' booking;
+          if who = `Primary then
+            Health.Breaker.release_probe t.breakers
+              ~template:(Shard.name sh')
+        end
       in
       Sim.Engine.spawn t.eng
         ~name:("route:" ^ Shard.name sh)
-        (fun () -> finish `Primary sh (Shard.submit sh q));
+        (fun () -> finish `Primary sh (Shard.submit_tracked sh q));
       ignore
         (Sim.Engine.schedule t.eng ~delay:t.cfg.hedge_after (fun () ->
              if not !settled then
@@ -190,11 +212,11 @@ let hedged_submit t sh ~template q =
                | None -> ()
                | Some alt ->
                    t.hedges <- t.hedges + 1;
-                   emit_route t ~shard:(Shard.name alt) ~template ~spill:false
-                     ~hedged:true;
+                   emit_route t ~shard:(Shard.name alt) ~template
+                     ~spill:false ~hedged:true;
                    Sim.Engine.spawn t.eng
                      ~name:("hedge:" ^ Shard.name alt)
-                     (fun () -> finish `Hedge alt (Shard.submit alt q)))))
+                     (fun () -> finish `Hedge alt (Shard.submit_tracked alt q)))))
 
 let record_outcome t ~shard_name r =
   match r with
@@ -209,7 +231,7 @@ let record_outcome t ~shard_name r =
       then Health.Breaker.record_failure t.breakers ~template:shard_name
       else Health.Breaker.release_probe t.breakers ~template:shard_name
 
-let rec attempt t q ~template ~attempt_no =
+let rec attempt t q ~template ~budget ~attempt_no =
   match pick t ~template with
   | None ->
       t.rejected <- t.rejected + 1;
@@ -230,29 +252,54 @@ let rec attempt t q ~template ~attempt_no =
       | Error e
         when Health.Error.retryable e.Health.Error.code
              && attempt_no <= t.cfg.max_retries ->
-          t.retries <- t.retries + 1;
-          Sim.Engine.sleep
-            (Resilience.backoff t.cfg.backoff ~attempt:attempt_no ~rng:t.rng);
-          attempt t q ~template ~attempt_no:(attempt_no + 1)
+          (* The retry budget is spent *before* the backoff: a client out
+             of tokens fails fast instead of joining the retry storm, and
+             the queue behind it drains by one instead of growing by one.
+             The original error's code survives in the detail so the
+             client can still see what it was retrying. *)
+          let may_retry =
+            match budget with
+            | None -> true
+            | Some b ->
+                let ok = Resilience.Budget.try_spend b in
+                if not ok then t.budget_denials <- t.budget_denials + 1;
+                ok
+          in
+          if not may_retry then
+            Error
+              (Health.Error.make
+                 ~detail:
+                   ("gave up retrying "
+                   ^ Health.Error.code_name e.Health.Error.code)
+                 Health.Error.Retry_budget_exhausted)
+          else begin
+            t.retries <- t.retries + 1;
+            Sim.Engine.sleep
+              (Resilience.backoff t.cfg.backoff ~attempt:attempt_no
+                 ~rng:t.rng);
+            attempt t q ~template ~budget ~attempt_no:(attempt_no + 1)
+          end
       | Error _ -> r)
 
-let submit t q =
+let submit ?budget t q =
   let template = Dbms.template_of_qid q.Optimizer.Query.qid in
   let start = Sim.Engine.now t.eng in
   t.submitted <- t.submitted + 1;
   t.in_flight <- t.in_flight + 1;
-  let r = attempt t q ~template ~attempt_no:1 in
+  let r = attempt t q ~template ~budget ~attempt_no:1 in
   t.in_flight <- t.in_flight - 1;
   (match r with
-  | Ok () -> t.ok <- t.ok + 1
+  | Ok () ->
+      t.ok <- t.ok + 1;
+      Option.iter Resilience.Budget.earn budget
   | Error _ -> t.failed <- t.failed + 1);
   if start >= t.measure_from then
     Obs.Hist.add t.latency
       (int_of_float ((Sim.Engine.now t.eng -. start) *. 1e6));
   r
 
-let submit_catch t q =
-  match submit t q with
+let submit_catch ?budget t q =
+  match submit ?budget t q with
   | Ok () -> Ok ()
   | Error e -> Error (Health.Error.to_string e)
 
@@ -266,7 +313,9 @@ let rejected t = t.rejected
 let spills t = t.spills
 let hedges t = t.hedges
 let hedge_wins t = t.hedge_wins
+let hedge_losses t = t.hedge_losses
 let retries t = t.retries
+let budget_denials t = t.budget_denials
 let in_flight t = t.in_flight
 
 let pp ppf t =

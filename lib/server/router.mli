@@ -36,11 +36,23 @@ val create : ?trace:Obs.Trace.t -> ?cfg:config -> Sim.Engine.t -> Shard.t array 
 
 (** Route and run one query; must be called from a simulation process.
     [Error Shard_unavailable] with detail ["no shard available"] when
-    every shard is down or breaker-refused after all retries. *)
-val submit : t -> Optimizer.Query.t -> (unit, Health.Error.t) result
+    every shard is down or breaker-refused after all retries.
+
+    [budget], when given, is the calling client's retry token bucket:
+    each re-route spends a token {e before} backing off, and a client
+    whose bucket is empty fails fast with {!Health.Error.Retry_budget_exhausted}
+    instead of amplifying the storm; a successful submission earns back a
+    fraction of a token. Without a budget, behaviour is byte-identical to
+    before the defense existed. *)
+val submit :
+  ?budget:Resilience.Budget.t ->
+  t ->
+  Optimizer.Query.t ->
+  (unit, Health.Error.t) result
 
 (** {!submit} with the error rendered for the client callback. *)
-val submit_catch : t -> Optimizer.Query.t -> (unit, string) result
+val submit_catch :
+  ?budget:Resilience.Budget.t -> t -> Optimizer.Query.t -> (unit, string) result
 
 (** Shard indices in ring-walk order for a template (head = home shard).
     Pure; exposed for tests. *)
@@ -66,6 +78,15 @@ val rejected : t -> int
 val spills : t -> int
 val hedges : t -> int
 val hedge_wins : t -> int
+
+(** Losing hedge completions scrubbed from shard books and breakers —
+    with correct accounting, [Array.sum discarded = hedge_losses]. *)
+val hedge_losses : t -> int
+
 val retries : t -> int
+
+(** Retries refused because the client's {!Resilience.Budget} was empty. *)
+val budget_denials : t -> int
+
 val in_flight : t -> int
 val pp : Format.formatter -> t -> unit

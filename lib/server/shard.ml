@@ -34,6 +34,9 @@ type t = {
   mutable finished : int;
   mutable lost : int;
   mutable refused : int;
+  mutable discarded : int;
+      (* completions scrubbed from the books because the client already
+         took another shard's answer (losing hedges) *)
   mutable crashes : int;
   mutable stalls : int;
   mutable misses_at_rejoin : int;
@@ -59,6 +62,7 @@ let create ?(trace = Obs.Trace.null) ?(probation = 30.) eng ~index ~name cfg
     finished = 0;
     lost = 0;
     refused = 0;
+    discarded = 0;
     crashes = 0;
     stalls = 0;
     misses_at_rejoin = 0;
@@ -75,6 +79,7 @@ let accepted t = t.accepted
 let finished t = t.finished
 let lost t = t.lost
 let refused t = t.refused
+let discarded t = t.discarded
 let crashes t = t.crashes
 let stalls t = t.stalls
 let set_pool t p = t.arb_pool <- Some p
@@ -115,6 +120,13 @@ let restart t =
   t.rejoined <- true;
   transition t Recovering;
   set_offline t false;
+  (* Warm-prime the rejoining cache (config-gated; warm_prime is a no-op
+     at d_warm_prime = 0): one spawned process recompiles the hottest
+     templates, and with singleflight on the storming clients coalesce
+     onto those priming compiles instead of stampeding the gateways. *)
+  if (Dbms.config t.dbms).Config.defense.Config.d_warm_prime > 0 then
+    Sim.Engine.spawn t.eng ~name:(t.s_name ^ ":warm-prime") (fun () ->
+        Dbms.warm_prime t.dbms);
   let epoch0 = t.epoch in
   ignore
     (Sim.Engine.schedule t.eng ~delay:t.probation (fun () ->
@@ -156,11 +168,17 @@ let stall t ~duration ~slow_factor =
            end))
   end
 
-let submit t q =
+(* A completion's booking tag, so a hedged dispatch whose answer the
+   client never took can be scrubbed from the books with {!uncount}. *)
+type booking = [ `Refused | `Lost | `Finished ]
+
+let submit_tracked t q =
   match t.state with
   | Down ->
       t.refused <- t.refused + 1;
-      Error (Health.Error.make ~detail:t.s_name Health.Error.Shard_unavailable)
+      ( Error
+          (Health.Error.make ~detail:t.s_name Health.Error.Shard_unavailable),
+        `Refused )
   | Up | Browned_out | Recovering ->
       let epoch0 = t.epoch in
       t.accepted <- t.accepted + 1;
@@ -171,15 +189,33 @@ let submit t q =
         (* The shard died while this query ran; whatever the engine
            computed, the client's connection is gone. *)
         t.lost <- t.lost + 1;
-        Error
-          (Health.Error.make
-             ~detail:(t.s_name ^ " connection-lost")
-             Health.Error.Shard_unavailable)
+        ( Error
+            (Health.Error.make
+               ~detail:(t.s_name ^ " connection-lost")
+               Health.Error.Shard_unavailable),
+          `Lost )
       end
       else begin
         t.finished <- t.finished + 1;
-        r
+        (r, `Finished)
       end
+
+let submit t q = fst (submit_tracked t q)
+
+(* Scrub a hedge loser's completion: the client took the other shard's
+   answer, so this dispatch must not count as served work (or as a
+   refusal) in the shard's books — [accepted = finished + lost] keeps
+   holding because an accepted loser leaves both sides. *)
+let uncount t (b : booking) =
+  t.discarded <- t.discarded + 1;
+  match b with
+  | `Refused -> t.refused <- t.refused - 1
+  | `Lost ->
+      t.accepted <- t.accepted - 1;
+      t.lost <- t.lost - 1
+  | `Finished ->
+      t.accepted <- t.accepted - 1;
+      t.finished <- t.finished - 1
 
 let sample t =
   if Obs.Trace.enabled t.trace then

@@ -48,6 +48,21 @@ val create :
     simulation process. *)
 val submit : t -> Optimizer.Query.t -> (unit, Health.Error.t) result
 
+(** How a completed {!submit_tracked} was booked in the shard's counters. *)
+type booking = [ `Refused | `Lost | `Finished ]
+
+(** {!submit} plus the booking tag, for callers that may later need to
+    {!uncount} the completion (hedged dispatch). *)
+val submit_tracked :
+  t -> Optimizer.Query.t -> (unit, Health.Error.t) result * booking
+
+(** Scrub a completion from the books — the router calls this for the
+    losing side of a hedge, whose answer the client never took, so
+    duplicate dispatches do not double-book shard throughput. Keeps
+    [accepted = finished + lost] intact and counts the scrub in
+    {!discarded}. *)
+val uncount : t -> booking -> unit
+
 (** Kill the shard now; it restarts (cold caches, [Recovering]) after
     [restart_delay] seconds. No-op when already [Down]. Reclaims the
     server's memory and, when an arbiter pool is attached, marks it
@@ -90,6 +105,9 @@ val lost : t -> int
 
 (** Submissions refused at the door while [Down]. *)
 val refused : t -> int
+
+(** Completions scrubbed by {!uncount} (losing hedges). *)
+val discarded : t -> int
 
 val crashes : t -> int
 val stalls : t -> int

@@ -106,6 +106,7 @@ type outcome = {
   p50_ms : float;
   p99_ms : float;
   cl_submitted : int;
+  cl_attempts : int;  (* every router submission a client made, retries included *)
   cl_succeeded : int;
   cl_abandoned : int;
   arb_ticks : int;
@@ -310,6 +311,7 @@ let run ?trace cfg =
     p50_ms = float_of_int (Obs.Hist.percentile lat 50.) /. 1000.;
     p99_ms = float_of_int (Obs.Hist.percentile lat 99.) /. 1000.;
     cl_submitted = stats.Workload.Client.submitted;
+    cl_attempts = stats.Workload.Client.attempts;
     cl_succeeded = stats.Workload.Client.succeeded;
     cl_abandoned = stats.Workload.Client.abandoned;
     arb_ticks = Qcore.Arbiter.ticks arbiter;

@@ -77,7 +77,10 @@ type outcome = {
   in_flight_at_stop : int;
   p50_ms : float;
   p99_ms : float;
-  cl_submitted : int;
+  cl_submitted : int;  (** distinct client queries *)
+  cl_attempts : int;
+      (** router submissions clients made, client-level retries included —
+          conserves against {!outcome.submitted} *)
   cl_succeeded : int;
   cl_abandoned : int;
   arb_ticks : int;

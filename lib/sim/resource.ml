@@ -1,10 +1,11 @@
 type acquire_result = Acquired | Timed_out
+type discipline = Fifo | Lifo
 
 module Sem = struct
   type waiter = {
     n : int;
     priority : int;
-    seq : int;
+    order : int;  (* seq under Fifo, -seq under Lifo; fixed at enqueue *)
     enqueued_at : float;
     wake : acquire_result -> unit;
     mutable alive : bool; (* false once granted or timed out *)
@@ -17,6 +18,7 @@ module Sem = struct
     mutable capacity : int;
     mutable in_use : int;
     mutable seq : int;
+    mutable disc : discipline;
     waiters : waiter Heap.t;
     mutable queued : int;
     wait_stats : Stats.Online.t;
@@ -26,7 +28,7 @@ module Sem = struct
 
   let compare_waiter a b =
     let c = compare a.priority b.priority in
-    if c <> 0 then c else compare a.seq b.seq
+    if c <> 0 then c else compare a.order b.order
 
   let create eng ?(name = "sem") ~capacity () =
     if capacity < 0 then invalid_arg "Sem.create: negative capacity";
@@ -36,6 +38,7 @@ module Sem = struct
       capacity;
       in_use = 0;
       seq = 0;
+      disc = Fifo;
       waiters = Heap.create ~cmp:compare_waiter ();
       queued = 0;
       wait_stats = Stats.Online.create ();
@@ -46,6 +49,13 @@ module Sem = struct
   let name t = t.sname
   let capacity t = t.capacity
   let in_use t = t.in_use
+  let discipline t = t.disc
+
+  (* The flip applies to arrivals from here on: queued waiters keep the
+     order key they enqueued under, so the heap invariant never breaks
+     and nobody already waiting is reshuffled behind newer arrivals
+     retroactively. *)
+  let set_discipline t d = t.disc <- d
   let available t = max 0 (t.capacity - t.in_use)
   let queued t = t.queued
   let wait_stats t = t.wait_stats
@@ -92,11 +102,12 @@ module Sem = struct
     else
       Engine.suspend (fun wake ->
           t.seq <- t.seq + 1;
+          let order = match t.disc with Fifo -> t.seq | Lifo -> -t.seq in
           let w =
             {
               n;
               priority;
-              seq = t.seq;
+              order;
               enqueued_at = Engine.now t.eng;
               wake;
               alive = true;

@@ -7,6 +7,13 @@
 
 type acquire_result = Acquired | Timed_out
 
+(** Queue service order within a priority class. [Fifo] is oldest-first
+    (the default); [Lifo] is newest-first — under sustained overload the
+    newest waiter is the one whose deadline is still meetable, so serving
+    it first clears a post-storm backlog instead of burning capacity on
+    requests that will time out anyway. *)
+type discipline = Fifo | Lifo
+
 (** Counting semaphore with strictly ordered admission.
 
     Waiters are served in [(priority, arrival)] order and there is no
@@ -35,6 +42,14 @@ module Sem : sig
   (** [set_capacity t c] adjusts total capacity. Shrinking below [in_use]
       is allowed; the deficit recovers as units are released. *)
   val set_capacity : t -> int -> unit
+
+  (** [set_discipline t d] switches service order within each priority
+      class for waiters enqueued {e from now on}; processes already queued
+      keep their position (the adaptive-queue flip never reshuffles the
+      backlog, it only changes where new arrivals land). Default [Fifo]. *)
+  val set_discipline : t -> discipline -> unit
+
+  val discipline : t -> discipline
 
   val name : t -> string
   val capacity : t -> int

@@ -1,0 +1,91 @@
+(* Deterministic sweep of prop_conservation_under_shard_faults's whole
+   QCheck domain (schedule x shards x gateways x seed range), printing
+   any counterexample with the specific clause that broke. The QCheck
+   property samples 8 random quads per run; this exhausts the domain, so
+   a "conserved" claim is against every input, not a lucky draw. It
+   found the pre-PR-8 latent failure: under Rolling_restart a client
+   retries rejected queries, so the router's per-attempt [submitted]
+   exceeds the client's per-query count — attempts, not distinct
+   queries, are what conserve. Manual tool, not under runtest:
+
+     dune exec test/probe_conservation.exe -- 1 100   # seed range *)
+
+let mib = Dbmem.Units.mib
+
+let small_cfg ?(shards = 2) ?(gateways = true) ?(hedge = false) ?(seed = 11)
+    ?(schedule = Server.Shards.No_fault) () =
+  {
+    Server.Shards.c_shards = shards;
+    c_clients = 6;
+    c_variants = 8;
+    c_think = 10.;
+    c_warmup = 60.;
+    c_measure = 240.;
+    c_slice = 30.;
+    c_total = mib 256 * shards;
+    c_gateways = gateways;
+    c_hedge = hedge;
+    c_seed = seed;
+    c_schedule = schedule;
+  }
+
+let diagnose (o : Server.Shards.outcome) =
+  let open Server.Shards in
+  let bad = ref [] in
+  let chk name cond = if not cond then bad := name :: !bad in
+  chk "submitted=ok+failed" (o.submitted = o.ok + o.failed);
+  chk "in_flight=0" (o.in_flight_at_stop = 0);
+  chk "cl_attempts" (o.cl_attempts = o.submitted);
+  chk "cl_submitted<=attempts" (o.cl_submitted <= o.cl_attempts);
+  chk "cl_succeeded" (o.cl_succeeded = o.ok);
+  chk "rejected<=failed" (o.rejected <= o.failed);
+  chk "completed<=ok" (o.completed <= o.ok);
+  chk "shard accepted=finished+lost"
+    (List.for_all
+       (fun r -> r.sh_accepted = r.sh_finished + r.sh_lost)
+       o.shard_results);
+  chk "budget sum" (o.max_budget_sum <= o.o_config.c_total + o.o_config.c_shards);
+  !bad
+
+let () =
+  let lo = int_of_string Sys.argv.(1) and hi = int_of_string Sys.argv.(2) in
+  let scheds =
+    [
+      (0, Server.Shards.No_fault);
+      (1, Server.Shards.Crash_failover);
+      (2, Server.Shards.Rolling_restart);
+      (3, Server.Shards.Brownout);
+    ]
+  in
+  let found = ref 0 in
+  for seed = lo to hi do
+    List.iter
+      (fun (si, schedule) ->
+        List.iter
+          (fun shards ->
+            List.iter
+              (fun gateways ->
+                let hedge = schedule = Server.Shards.Brownout in
+                let o =
+                  Server.Shards.run
+                    (small_cfg ~shards ~gateways ~hedge ~seed ~schedule ())
+                in
+                match diagnose o with
+                | [] -> ()
+                | bad ->
+                    incr found;
+                    Printf.printf
+                      "FAIL sched=%d shards=%d gateways=%b seed=%d: %s\n\
+                      \  submitted=%d ok=%d failed=%d rejected=%d \
+                      cl_submitted=%d cl_succeeded=%d in_flight=%d\n%!"
+                      si shards gateways seed
+                      (String.concat ", " bad)
+                      o.Server.Shards.submitted o.Server.Shards.ok
+                      o.Server.Shards.failed o.Server.Shards.rejected
+                      o.Server.Shards.cl_submitted o.Server.Shards.cl_succeeded
+                      o.Server.Shards.in_flight_at_stop)
+              [ true; false ])
+          [ 2; 3; 4 ])
+      scheds
+  done;
+  Printf.printf "done %d..%d: %d failures\n%!" lo hi !found

@@ -7,7 +7,8 @@
    Prints one row per seed per bound plus the min/max envelope, so a
    tolerance in test_shards.ml / test_health.ml / test_midcache.ml can be
    pinned against the observed spread rather than one lucky seed (the
-   audited envelopes are recorded in DESIGN.md §10). *)
+   audited envelopes are recorded in DESIGN.md §10, the storm ones in
+   §11). *)
 
 let mib n = n * 1024 * 1024
 
@@ -72,6 +73,41 @@ let midcache_bounds seed =
     squeezed.Server.Cached.shrink_events,
     Server.Cached.uplift squeezed ~over:brokered )
 
+(* test_storms.ml test_storm_ab_contrast, verbatim config: the compact
+   mass-invalidation A/B. The robust per-seed claims are the ones the
+   test asserts — the defended arm never duplicates a compile and
+   recovers within the window, the undefended arm wastes duplicates —
+   while the recovery-time *comparison* is only claimed in aggregate
+   (slice noise makes single-seed orderings flip). *)
+let storm_bounds seed =
+  let cfg defenses =
+    {
+      Server.Storms.default_config with
+      Server.Storms.s_shards = 2;
+      s_clients = 24;
+      s_variants = 16;
+      s_think = 5.;
+      s_warmup = 120.;
+      s_measure = 360.;
+      s_slice = 30.;
+      s_total = mib 512 * 2;
+      s_defenses = defenses;
+      s_seed = seed;
+      s_schedule = Server.Storms.Mass_invalidation;
+    }
+  in
+  let on = Server.Storms.run (cfg true) in
+  let off = Server.Storms.run (cfg false) in
+  ( on.Server.Storms.dup_compiles,
+    off.Server.Storms.dup_compiles,
+    on.Server.Storms.coalesced,
+    (if on.Server.Storms.recovered then on.Server.Storms.recovery_s
+     else infinity),
+    (if off.Server.Storms.recovered then off.Server.Storms.recovery_s
+     else infinity),
+    on.Server.Storms.retry_amp,
+    off.Server.Storms.retry_amp )
+
 type row = {
   seed : int;
   retention : float;
@@ -81,6 +117,13 @@ type row = {
   mc_calm_shrinks : int;
   mc_ballast_shrinks : int;
   mc_ballast_retention : float;
+  st_dup_on : int;
+  st_dup_off : int;
+  st_coalesced : int;
+  st_recovery_on : float;
+  st_recovery_off : float;
+  st_amp_on : float;
+  st_amp_off : float;
 }
 
 let audit_seed seed =
@@ -89,6 +132,15 @@ let audit_seed seed =
   let mc_uplift, mc_gw_drop, mc_calm_shrinks, mc_ballast_shrinks,
       mc_ballast_retention =
     midcache_bounds seed
+  in
+  let ( st_dup_on,
+        st_dup_off,
+        st_coalesced,
+        st_recovery_on,
+        st_recovery_off,
+        st_amp_on,
+        st_amp_off ) =
+    storm_bounds seed
   in
   {
     seed;
@@ -99,6 +151,13 @@ let audit_seed seed =
     mc_calm_shrinks;
     mc_ballast_shrinks;
     mc_ballast_retention;
+    st_dup_on;
+    st_dup_off;
+    st_coalesced;
+    st_recovery_on;
+    st_recovery_off;
+    st_amp_on;
+    st_amp_off;
   }
 
 let () =
@@ -124,12 +183,18 @@ let () =
   in
   Printf.printf
     "seed  shards_retention  supervised_ratio  mc_uplift  mc_gw_drop  \
-     mc_calm_shrinks  mc_ballast_shrinks  mc_ballast_retention\n";
+     mc_calm_shrinks  mc_ballast_shrinks  mc_ballast_retention  st_dup_on  \
+     st_dup_off  st_coalesced  st_recovery_on  st_recovery_off  st_amp_on  \
+     st_amp_off\n";
   List.iter
     (fun r ->
-      Printf.printf "%4d  %16.3f  %16.3f  %9.3f  %10d  %15d  %18d  %20.3f\n"
+      Printf.printf
+        "%4d  %16.3f  %16.3f  %9.3f  %10d  %15d  %18d  %20.3f  %9d  %10d  \
+         %12d  %14.0f  %15.0f  %9.2f  %10.2f\n"
         r.seed r.retention r.sup_ratio r.mc_uplift r.mc_gw_drop
-        r.mc_calm_shrinks r.mc_ballast_shrinks r.mc_ballast_retention)
+        r.mc_calm_shrinks r.mc_ballast_shrinks r.mc_ballast_retention
+        r.st_dup_on r.st_dup_off r.st_coalesced r.st_recovery_on
+        r.st_recovery_off r.st_amp_on r.st_amp_off)
     rows;
   let env f =
     let vs = List.map f rows in
@@ -147,4 +212,25 @@ let () =
   Printf.printf "  midcache brokered/off uplift      [%.3f, %.3f]\n" lo_u hi_u;
   Printf.printf "  midcache gateway-admission drop   [%.0f, %.0f]\n" lo_g hi_g;
   Printf.printf "  midcache ballast shrink events    [%.0f, %.0f]\n" lo_b hi_b;
-  Printf.printf "  midcache ballast retention        [%.3f, %.3f]\n" lo_br hi_br
+  Printf.printf "  midcache ballast retention        [%.3f, %.3f]\n" lo_br hi_br;
+  let lo_do, hi_do = env (fun r -> float_of_int r.st_dup_off) in
+  let lo_c, hi_c = env (fun r -> float_of_int r.st_coalesced) in
+  let mean f =
+    List.fold_left (fun a r -> a +. f r) 0. rows
+    /. float_of_int (List.length rows)
+  in
+  let dup_on_max = snd (env (fun r -> float_of_int r.st_dup_on)) in
+  let on_recovered =
+    List.length (List.filter (fun r -> Float.is_finite r.st_recovery_on) rows)
+  in
+  let off_recovered =
+    List.length (List.filter (fun r -> Float.is_finite r.st_recovery_off) rows)
+  in
+  Printf.printf "  storm defended dup compiles (max) %.0f\n" dup_on_max;
+  Printf.printf "  storm undefended dup compiles     [%.0f, %.0f]\n" lo_do hi_do;
+  Printf.printf "  storm defended coalesced          [%.0f, %.0f]\n" lo_c hi_c;
+  Printf.printf "  storm recovered within window     on %d/%d, off %d/%d\n"
+    on_recovered (List.length rows) off_recovered (List.length rows);
+  Printf.printf "  storm mean retry amplification    on %.3f, off %.3f\n"
+    (mean (fun r -> r.st_amp_on))
+    (mean (fun r -> r.st_amp_off))

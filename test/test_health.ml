@@ -49,7 +49,14 @@ let test_error_taxonomy () =
      surviving shard, never a breaker-tripping failure. *)
   Alcotest.(check bool) "shard-unavailable retryable" true
     (retryable Shard_unavailable);
-  Alcotest.(check int) "taxonomy is complete" (List.length all_codes) 8
+  (* An exhausted retry budget is back-pressure (info, not an engine
+     failure) but deliberately NOT retryable: the whole point is that the
+     client fails fast instead of feeding the storm. *)
+  Alcotest.(check bool) "budget-exhausted is info" true
+    (severity Retry_budget_exhausted = Informational);
+  Alcotest.(check bool) "budget-exhausted not retryable" false
+    (retryable Retry_budget_exhausted);
+  Alcotest.(check int) "taxonomy is complete" (List.length all_codes) 9
 
 (* ------------------------------------------------------------------ *)
 (* Circuit breaker state machine *)

@@ -21,4 +21,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("shards", Test_shards.suite);
       ("midcache", Test_midcache.suite);
+      ("storms", Test_storms.suite);
     ]

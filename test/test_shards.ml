@@ -156,8 +156,11 @@ let check_conservation (o : Server.Shards.outcome) =
      stays in flight after the drain. *)
   o.submitted = o.ok + o.failed
   && o.in_flight_at_stop = 0
-  (* Clients saw exactly the router's totals. *)
-  && o.cl_submitted = o.submitted
+  (* Clients saw exactly the router's totals: every router submission is
+     a client attempt (a client that retries a rejected query submits
+     again, so attempts — not distinct queries — are what conserve). *)
+  && o.cl_attempts = o.submitted
+  && o.cl_submitted <= o.cl_attempts
   && o.cl_succeeded = o.ok
   (* Rejections are a subset of failures; completions happened inside
      the measure window, so they cannot exceed total successes. *)
