@@ -159,14 +159,15 @@ module Lru2_impl = struct
   let mem t p = Hashtbl.mem t.times p
 
   let rec evict t =
-    match Sim.Heap.pop t.heap with
-    | None -> None
-    | Some (t2, t1, p) -> (
-        match Hashtbl.find_opt t.times p with
-        | Some ts when ts.t1 = t1 && ts.t2 = t2 ->
-            Hashtbl.remove t.times p;
-            Some p
-        | _ -> evict t)
+    if Sim.Heap.is_empty t.heap then None
+    else begin
+      let t2, t1, p = Sim.Heap.pop_exn t.heap in
+      match Hashtbl.find_opt t.times p with
+      | Some ts when ts.t1 = t1 && ts.t2 = t2 ->
+          Hashtbl.remove t.times p;
+          Some p
+      | _ -> evict t
+    end
 
   let size t = Hashtbl.length t.times
   let backlog t = Sim.Heap.size t.heap

@@ -15,7 +15,7 @@ let gateway_waits records =
      one gate at a time (the ladder is acquired in order), so the pair is
      a unique key. *)
   let pending : (string * string, float) Hashtbl.t = Hashtbl.create 64 in
-  let out = ref [] in
+  let out = Vec.create ~capacity:256 () in
   Array.iter
     (fun (r : Trace.record) ->
       match r.event with
@@ -31,19 +31,18 @@ let gateway_waits records =
                   let outcome =
                     if phase = Event.Acquired then `Acquired else `Timeout
                   in
-                  out :=
-                    { qid = r.qid; gate; start; finish = r.time; outcome }
-                    :: !out)
+                  Vec.push out
+                    { qid = r.qid; gate; start; finish = r.time; outcome })
           | Event.Release -> ())
       | _ -> ())
     records;
   let fin = last_time records in
   Hashtbl.iter
     (fun (gate, qid) start ->
-      out := { qid; gate; start; finish = fin; outcome = `Open } :: !out)
+      Vec.push out { qid; gate; start; finish = fin; outcome = `Open })
     pending;
   List.sort (fun a b -> compare (a.start, a.gate, a.qid) (b.start, b.gate, b.qid))
-    (List.rev !out)
+    (Vec.to_list out)
 
 let fold_holders records f =
   let holders : (string, int) Hashtbl.t = Hashtbl.create 8 in
@@ -74,10 +73,10 @@ let max_holders records =
   |> List.sort compare
 
 let holder_violations records ~slots =
-  let out = ref [] in
+  let out = Vec.create () in
   fold_holders records (fun gate time cur ->
-      if cur > slots gate then out := (gate, time, cur) :: !out);
-  List.rev !out
+      if cur > slots gate then Vec.push out (gate, time, cur));
+  Vec.to_list out
 
 let admission_violations records =
   (* Per gate: the set of currently-waiting (qid → priority, arrival seq).
@@ -96,7 +95,7 @@ let admission_violations records =
         tbl
   in
   let seq = ref 0 in
-  let out = ref [] in
+  let out = Vec.create () in
   Array.iter
     (fun (r : Trace.record) ->
       match r.event with
@@ -122,20 +121,23 @@ let admission_violations records =
                         oseq < aseq
                         && (oprio < aprio
                            || (oprio = aprio && oseq < aseq))
-                      then out := (gate, r.qid, oqid, r.time) :: !out)
+                      then Vec.push out (gate, r.qid, oqid, r.time))
                     tbl)
           | Event.Timeout -> Hashtbl.remove tbl r.qid
           | Event.Release -> ())
       | _ -> ())
     records;
-  List.rev !out
+  Vec.to_list out
 
 let usage_points records =
-  let series : (string, (float * int) list ref) Hashtbl.t = Hashtbl.create 16 in
+  let series : (string, (float * int) Vec.t) Hashtbl.t = Hashtbl.create 16 in
   let push qid pt =
     match Hashtbl.find_opt series qid with
-    | Some l -> l := pt :: !l
-    | None -> Hashtbl.add series qid (ref [ pt ])
+    | Some v -> Vec.push v pt
+    | None ->
+        let v = Vec.create ~capacity:32 () in
+        Vec.push v pt;
+        Hashtbl.add series qid v
   in
   Array.iter
     (fun (r : Trace.record) ->
@@ -145,7 +147,7 @@ let usage_points records =
       | Event.Compile_end _ -> push r.qid (r.time, 0)
       | _ -> ())
     records;
-  Hashtbl.fold (fun qid l acc -> (qid, List.rev !l) :: acc) series []
+  Hashtbl.fold (fun qid v acc -> (qid, Vec.to_list v) :: acc) series []
   |> List.sort compare
 
 let wait_histograms records =

@@ -1,7 +1,20 @@
 type record = { time : float; qid : string; event : Event.t }
 
+(* The ring stores mutable slots so steady-state emission (every lap
+   after the first) rewrites fields in place instead of allocating a
+   record plus an option box per event. Slots are materialised lazily on
+   the first lap — a shared dummy marks never-written positions — so a
+   mostly-empty ring costs nothing beyond its pointer array. *)
+type slot = {
+  mutable s_time : float;
+  mutable s_qid : string;
+  mutable s_event : Event.t;
+}
+
+let dummy_slot = { s_time = 0.; s_qid = ""; s_event = Event.Compile_begin }
+
 type ring = {
-  buf : record option array;
+  buf : slot array;
   mutable head : int; (* next write position *)
   mutable len : int;
   mutable dropped : int;
@@ -14,7 +27,7 @@ let default_capacity = 1 lsl 18
 
 let create ?(capacity = default_capacity) () =
   let capacity = max 1 capacity in
-  Ring { buf = Array.make capacity None; head = 0; len = 0; dropped = 0 }
+  Ring { buf = Array.make capacity dummy_slot; head = 0; len = 0; dropped = 0 }
 
 let enabled = function Null -> false | Ring _ -> true
 
@@ -23,7 +36,14 @@ let emit t ~time ~qid event =
   | Null -> ()
   | Ring r ->
       let cap = Array.length r.buf in
-      r.buf.(r.head) <- Some { time; qid; event };
+      let s = r.buf.(r.head) in
+      if s == dummy_slot then
+        r.buf.(r.head) <- { s_time = time; s_qid = qid; s_event = event }
+      else begin
+        s.s_time <- time;
+        s.s_qid <- qid;
+        s.s_event <- event
+      end;
       r.head <- (r.head + 1) mod cap;
       if r.len < cap then r.len <- r.len + 1 else r.dropped <- r.dropped + 1
 
@@ -37,14 +57,21 @@ let records t =
       let cap = Array.length r.buf in
       let start = (r.head - r.len + cap) mod cap in
       Array.init r.len (fun i ->
-          match r.buf.((start + i) mod cap) with
-          | Some rec_ -> rec_
-          | None -> assert false)
+          let s = r.buf.((start + i) mod cap) in
+          { time = s.s_time; qid = s.s_qid; event = s.s_event })
 
 let clear = function
   | Null -> ()
   | Ring r ->
-      Array.fill r.buf 0 (Array.length r.buf) None;
+      (* Keep the materialised slots for reuse but sever their payload
+         references so a cleared trace pins no strings or events. *)
+      Array.iter
+        (fun s ->
+          if s != dummy_slot then begin
+            s.s_qid <- "";
+            s.s_event <- Event.Compile_begin
+          end)
+        r.buf;
       r.head <- 0;
       r.len <- 0;
       r.dropped <- 0

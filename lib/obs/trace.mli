@@ -3,9 +3,12 @@
     A trace is either the {!null} sink — emission is a single pattern match
     and branch, so instrumented code pays nothing when tracing is off — or a
     fixed-capacity ring that keeps the most recent records and counts what
-    it had to drop. Recording never allocates per event beyond the record
-    itself, never consumes randomness and never touches the simulation
-    clock, so enabling a trace cannot perturb a deterministic run.
+    it had to drop. The ring stores mutable slots, materialised on the
+    first lap: once a position has been written, re-emission into it
+    rewrites fields in place, so steady-state recording allocates nothing
+    per event beyond the boxed timestamp. Recording never consumes
+    randomness and never touches the simulation clock, so enabling a
+    trace cannot perturb a deterministic run.
 
     Records carry the simulation time as a plain [float]: [obs] sits below
     every other library and must not depend on [sim]. *)

@@ -44,7 +44,8 @@ type result = { plan : Plan.t; cost : float; outcome : outcome; stats : stats }
 type group_state = Fresh | Expanding | Done
 
 type group = {
-  gset : Relset.t;
+  mutable gset : Relset.t;
+      (* mutable only so arena reuse can recycle the record *)
   mutable state : group_state;
   mutable best : Plan.t option;
   mutable splits : split array;
@@ -75,13 +76,94 @@ and task =
   | Expand of group * int (* cursor into the group's split list *)
   | Opt_split of group * split
 
+(* ------------------------------------------------------------------ *)
+(* Memo arena: the memo's structural storage (the group hashtable and a
+   pool of recyclable group records), reusable across optimize calls.
+   [reset_arena] clears logical state but keeps both at their high-water
+   capacity — [Hashtbl.clear] preserves the bucket array — so a server
+   compiling the same template population over and over stops re-growing
+   (and re-collecting) the same structures on every query.
+
+   An arena is single-compile at a time: the search suspends inside
+   [env.alloc] (gateway waits), so concurrent simulated compiles must
+   each hold their own arena ({!Dbms} keeps a free pool). Reuse is
+   observationally transparent: group records carry no state across
+   resets, the search never iterates the hashtable, and [Hashtbl]
+   find/replace results do not depend on capacity — so plans, costs,
+   stats and trace interactions are identical to a fresh memo (the
+   QCheck identity property in test_optimizer.ml is the guard). *)
+
+type arena = {
+  tbl : (Relset.t, group) Hashtbl.t;
+  mutable pool : group array;  (* recyclable records in [0, filled) *)
+  mutable filled : int;
+  mutable used : int;  (* handed out since the last reset *)
+}
+
+let dummy_group =
+  {
+    gset = Relset.empty;
+    state = Done;
+    best = None;
+    splits = [||];
+    outstanding = 0;
+    pending = [];
+  }
+
+let create_arena () =
+  { tbl = Hashtbl.create 1024; pool = Array.make 256 dummy_group; filled = 0; used = 0 }
+
+let reset_arena a =
+  Hashtbl.clear a.tbl;
+  (* Drop plan/split references so a parked arena does not pin the last
+     query's plan trees; slots beyond [used] are already clean. *)
+  for i = 0 to a.used - 1 do
+    let g = a.pool.(i) in
+    g.best <- None;
+    g.splits <- [||];
+    g.pending <- []
+  done;
+  a.used <- 0
+
+let acquire_group a set =
+  if a.used < a.filled then begin
+    let g = a.pool.(a.used) in
+    a.used <- a.used + 1;
+    g.gset <- set;
+    g.state <- Fresh;
+    g.outstanding <- 0;
+    g
+  end
+  else begin
+    let g =
+      {
+        gset = set;
+        state = Fresh;
+        best = None;
+        splits = [||];
+        outstanding = 0;
+        pending = [];
+      }
+    in
+    if a.filled >= Array.length a.pool then begin
+      let bigger = Array.make (2 * Array.length a.pool) dummy_group in
+      Array.blit a.pool 0 bigger 0 a.filled;
+      a.pool <- bigger
+    end;
+    a.pool.(a.filled) <- g;
+    a.filled <- a.filled + 1;
+    a.used <- a.used + 1;
+    g
+  end
+
 type search = {
   params : params;
   env : Env.t;
   model : Cost.model;
   card : Card.t;
   q : Query.t;
-  groups : (Relset.t, group) Hashtbl.t;
+  arena : arena;
+  groups : (Relset.t, group) Hashtbl.t;  (* == arena.tbl *)
   mutable stack : task list;
   mutable tasks : int;
   mutable n_groups : int;
@@ -101,16 +183,7 @@ let find_or_create s set =
   match Hashtbl.find_opt s.groups set with
   | Some g -> g
   | None ->
-      let g =
-        {
-          gset = set;
-          state = Fresh;
-          best = None;
-          splits = [||];
-          outstanding = 0;
-          pending = [];
-        }
-      in
+      let g = acquire_group s.arena set in
       Hashtbl.replace s.groups set g;
       s.n_groups <- s.n_groups + 1;
       alloc s s.params.group_bytes;
@@ -230,9 +303,19 @@ let flush_cpu s =
     s.cpu_pending <- 0
   end
 
-let optimize ?(params = default_params) ~env model cat q =
+let optimize ?(params = default_params) ?arena ~env model cat q =
   let card = Card.create cat q in
   let full = Relset.full (Query.n_rels q) in
+  (* Reset on entry rather than trusting the caller: an aborted previous
+     search leaves an arena mid-state, and the reset makes reuse safe
+     regardless of how the last call ended. *)
+  let arena =
+    match arena with
+    | Some a ->
+        reset_arena a;
+        a
+    | None -> create_arena ()
+  in
   let s =
     {
       params;
@@ -240,7 +323,8 @@ let optimize ?(params = default_params) ~env model cat q =
       model;
       card;
       q;
-      groups = Hashtbl.create 1024;
+      arena;
+      groups = arena.tbl;
       stack = [];
       tasks = 0;
       n_groups = 0;

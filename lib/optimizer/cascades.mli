@@ -56,10 +56,36 @@ type stats = {
 
 type result = { plan : Plan.t; cost : float; outcome : outcome; stats : stats }
 
-(** [optimize ?params ~env model catalog query]. Errors are the governor's
-    abort reasons surfaced by [env.alloc]/[env.cpu]. *)
+(** {1 Memo arena}
+
+    Reusable structural storage for the memo: the group hashtable and a
+    pool of recyclable group records. Passing the same arena to
+    successive {!optimize} calls keeps both at high-water capacity
+    instead of re-growing them per query — steady-state compiles of a
+    stable template population stop churning the allocator. Reuse is
+    observationally transparent: results, stats and environment
+    interactions are identical to a fresh memo.
+
+    An arena serves one compilation at a time. Searches can suspend
+    inside [env.alloc] (gateway waits), so concurrent compiles need
+    distinct arenas — {!Dbms} keeps a free pool sized by compile
+    concurrency. *)
+
+type arena
+
+val create_arena : unit -> arena
+
+(** Clear logical state, keep capacity. {!optimize} resets its arena on
+    entry, so calling this is only needed to drop the references a
+    parked arena still holds into the last query's plans. *)
+val reset_arena : arena -> unit
+
+(** [optimize ?params ?arena ~env model catalog query]. Errors are the
+    governor's abort reasons surfaced by [env.alloc]/[env.cpu]. Without
+    [?arena] a fresh single-use memo is built, as before. *)
 val optimize :
   ?params:params ->
+  ?arena:arena ->
   env:Env.t ->
   Cost.model ->
   Catalog.t ->

@@ -15,3 +15,14 @@ val optimize : Cost.model -> Card.t -> Plan.t
 (** Number of (connected-subset) DP entries filled by the last call —
     returned alongside the plan by {!optimize_with_stats}. *)
 val optimize_with_stats : Cost.model -> Card.t -> Plan.t * int
+
+(** {1 Test oracle}
+
+    The original list-based DP, which materialises every [Plan.t]
+    alternative instead of searching over flat cost tables. Kept only so
+    the test suite can assert the flat search returns identical plans,
+    costs and entry counts; do not use in production paths (two orders
+    of magnitude more allocation). *)
+
+val optimize_reference : Cost.model -> Card.t -> Plan.t
+val optimize_reference_with_stats : Cost.model -> Card.t -> Plan.t * int

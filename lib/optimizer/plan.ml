@@ -136,9 +136,13 @@ let nl_join model ~rows ~outer ~inner =
     mem_bytes = 0.;
   }
 
+(* Sort workspaces hold only the sort keys plus a row pointer, capped well
+   below full row width. *)
+let sort_width_cap = 64
+
 let sort model child =
   let n = Float.max 2.0 child.rows in
-  let mem = child.rows *. float_of_int (min child.width 64) in
+  let mem = child.rows *. float_of_int (min child.width sort_width_cap) in
   let spill = Cost.spill_factor model ~bytes:mem in
   {
     node = Sort child;

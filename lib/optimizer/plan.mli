@@ -54,6 +54,17 @@ val merge_join : Cost.model -> rows:float -> left:t -> right:t -> t
 val hash_agg : Cost.model -> rows:float -> groups:int -> aggs:int -> t -> t
 val stream_agg : Cost.model -> rows:float -> groups:int -> aggs:int -> t -> t
 
+(** {1 Cost-model constants}
+
+    Exposed so {!Rules}'s cost-only evaluators (used by the flat DP) can
+    mirror the constructors' memory formulas bit for bit. *)
+
+(** Build-side projection width cap in {!hash_join}'s memory model. *)
+val hash_build_width : int
+
+(** Sort workspace width cap in the implicit Sort operators. *)
+val sort_width_cap : int
+
 (** {1 Derived metrics} *)
 
 (** Total cost (I/O + CPU units). *)

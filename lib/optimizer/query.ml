@@ -46,6 +46,20 @@ let preds_between t a b =
       || (Relset.mem p.jleft b && Relset.mem p.jright a))
     t.preds
 
+(* Allocation-free [preds_between t a b <> []], for the DP hot loop. A
+   top-level recursive loop rather than [List.exists]: the predicate
+   closure would otherwise be allocated once per call, and this runs once
+   per candidate split of every connected subset. *)
+let rec pred_between_loop preds a b =
+  match preds with
+  | [] -> false
+  | p :: rest ->
+      (Relset.mem p.jleft a && Relset.mem p.jright b)
+      || (Relset.mem p.jleft b && Relset.mem p.jright a)
+      || pred_between_loop rest a b
+
+let has_pred_between t a b = pred_between_loop t.preds a b
+
 let connected t s =
   if Relset.is_empty s then false
   else begin

@@ -67,6 +67,10 @@ val filter_sel : t -> int -> float
 (** Join predicates with one side in [a] and the other in [b]. *)
 val preds_between : t -> Relset.t -> Relset.t -> join_pred list
 
+(** [has_pred_between t a b] is [preds_between t a b <> []] without
+    building the list. *)
+val has_pred_between : t -> Relset.t -> Relset.t -> bool
+
 (** [connected t s] — the subgraph induced by [s] is connected. *)
 val connected : t -> Relset.t -> bool
 

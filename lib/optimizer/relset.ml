@@ -84,14 +84,17 @@ let next_subset t sub =
   let s = (sub - 1) land t in
   if s = 0 then None else Some s
 
+(* Same enumeration as [first_subset]/[next_subset] but driven by a raw
+   int loop: no option box per submask. This runs in the innermost loop
+   of the DP cost search (3^n submask visits over all subsets), where the
+   two words of a [Some] per step used to dominate the allocation
+   profile. *)
 let iter_strict_subsets t f =
-  let rec loop = function
-    | None -> ()
-    | Some s ->
-        f s;
-        loop (next_subset t s)
-  in
-  loop (first_subset t)
+  let s = ref ((t - 1) land t) in
+  while !s <> 0 do
+    f !s;
+    s := (!s - 1) land t
+  done
 
 (* Gosper's hack: the next larger int with the same population count.
    Together with the smallest k-bit mask this enumerates all subsets of

@@ -37,7 +37,8 @@ val min_elt : t -> int
 val iter_of_cardinality : n:int -> k:int -> (t -> unit) -> unit
 
 (** [iter_strict_subsets t f] calls [f sub] for every nonempty proper
-    subset of [t], in decreasing submask order. *)
+    subset of [t], in decreasing submask order. O(1) and allocation-free
+    per subset. *)
 val iter_strict_subsets : t -> (t -> unit) -> unit
 
 (** [next_subset t sub] is the next nonempty proper subset after [sub] in

@@ -14,6 +14,201 @@ let join_alternatives model card a b =
     Plan.merge_join model ~rows ~left:a ~right:b;
   ]
 
+(* ------------------------------------------------------------------- *)
+(* Cost-only alternative evaluation for the flat DP ({!Dp}).
+
+   The functions below mirror the cost formulas of the [Plan] constructors
+   term for term, in the same floating-point evaluation order, so the
+   costs they produce are bit-identical to [Plan.total_cost] of the plan
+   the constructor would have built. They read and write flat arrays
+   indexed by [Relset.t] and allocate nothing: no [Plan.t] records, no
+   lists, no closures, no boxed floats (all intermediates are local
+   unboxed floats; [Cost.spill_factor] and [Float.max] are inlined by
+   hand because a non-inlined call would box its float argument).
+
+   Anything changed in a [Plan] constructor's cost arithmetic must be
+   changed here identically — the QCheck identity property in
+   [test_optimizer.ml] (flat DP == reference DP) is the guard. *)
+
+type tables = {
+  t_rows : float array;  (* plan output rows (leaf: filtered base rows) *)
+  t_io : float array;  (* cost_io of the best plan for the subset *)
+  t_cpu : float array;  (* cost_cpu of the best plan for the subset *)
+  t_width : int array;  (* output row width, bytes *)
+}
+
+let make_tables n =
+  {
+    t_rows = Array.make n 0.0;
+    t_io = Array.make n 0.0;
+    t_cpu = Array.make n 0.0;
+    t_width = Array.make n 0;
+  }
+
+(* Winning-alternative tags, the flat pass's stand-in for a [Plan.node].
+   Leaves: 0 = seq scan, 1 = index scan. Joins (l holds the lowest
+   relation of the subset, r the rest): 0 = hash build-l, 1 = hash
+   build-r, 2 = NL outer-l, 3 = NL outer-r, 4 = merge. The numeric order
+   matches the list order of [leaf_alternatives] / [join_alternatives],
+   and selection below uses strict [<] in that order, so ties resolve to
+   the same alternative as [cheapest]. *)
+
+let cheapest_leaf_into model card i ~best =
+  let tbl = Card.table_of card i in
+  let pages = Catalog.pages tbl ~page_size:model.Cost.page_size in
+  let out_rows = Card.base_rows card i in
+  let seq_io = pages *. model.Cost.seq_page_cost in
+  let seq_cpu = tbl.Catalog.rows *. model.Cost.cpu_tuple_cost in
+  best.(0) <- seq_io;
+  best.(1) <- seq_cpu;
+  best.(2) <- seq_io +. seq_cpu;
+  let q = Card.query card in
+  let indexed =
+    List.exists
+      (fun f -> Catalog.has_index_on tbl f.Query.fcol)
+      (Query.filters_of q i)
+  in
+  if not indexed then 0
+  else begin
+    let sel = out_rows /. Float.max 1.0 tbl.Catalog.rows in
+    let ipages = Float.max 1.0 ((pages *. sel) +. 3.) in
+    let idx_io = ipages *. model.Cost.rand_page_cost in
+    let idx_cpu = out_rows *. model.Cost.cpu_tuple_cost in
+    if idx_io +. idx_cpu < best.(2) then begin
+      best.(0) <- idx_io;
+      best.(1) <- idx_cpu;
+      best.(2) <- idx_io +. idx_cpu;
+      1
+    end
+    else 0
+  end
+
+let cheapest_join_into model tb ~s ~l ~r ~best =
+  let rows = tb.t_rows.(s) in
+  let rows_l = tb.t_rows.(l) and rows_r = tb.t_rows.(r) in
+  let io_l = tb.t_io.(l) and cpu_l = tb.t_cpu.(l) in
+  let io_r = tb.t_io.(r) and cpu_r = tb.t_cpu.(r) in
+  let width_l = tb.t_width.(l) and width_r = tb.t_width.(r) in
+  let page = float_of_int model.Cost.page_size in
+  (* [Cost.spill_factor] is expanded by hand below (likewise [Float.max]
+     further down): even a local helper closure would allocate once per
+     call on this path. *)
+  let wm = float_of_int model.Cost.work_mem in
+  let out_cpu = rows *. model.Cost.cpu_tuple_cost in
+  (* 0: hash join, build = l. *)
+  let mem0 =
+    rows_l
+    *. (float_of_int (min width_l Plan.hash_build_width)
+       +. model.Cost.hash_mem_overhead)
+  in
+  let sp0 =
+    if mem0 <= wm then 1.0 else 1.0 +. log (mem0 /. wm) /. log 2.0
+  in
+  let cpu0 =
+    cpu_l +. cpu_r
+    +. (rows_l *. model.Cost.hash_build_cost)
+    +. (rows_r *. model.Cost.hash_probe_cost)
+    +. out_cpu
+  in
+  let io0 = ((io_l +. io_r) *. 1.0) +. ((sp0 -. 1.0) *. mem0 /. page) in
+  best.(0) <- io0;
+  best.(1) <- cpu0;
+  best.(2) <- io0 +. cpu0;
+  let tag = 0 in
+  (* 1: hash join, build = r. *)
+  let mem1 =
+    rows_r
+    *. (float_of_int (min width_r Plan.hash_build_width)
+       +. model.Cost.hash_mem_overhead)
+  in
+  let sp1 =
+    if mem1 <= wm then 1.0 else 1.0 +. log (mem1 /. wm) /. log 2.0
+  in
+  let cpu1 =
+    cpu_r +. cpu_l
+    +. (rows_r *. model.Cost.hash_build_cost)
+    +. (rows_l *. model.Cost.hash_probe_cost)
+    +. out_cpu
+  in
+  let io1 = ((io_r +. io_l) *. 1.0) +. ((sp1 -. 1.0) *. mem1 /. page) in
+  let tag =
+    if io1 +. cpu1 < best.(2) then begin
+      best.(0) <- io1;
+      best.(1) <- cpu1;
+      best.(2) <- io1 +. cpu1;
+      1
+    end
+    else tag
+  in
+  (* 2: nested loop, outer = l (Float.max 0., inlined). *)
+  let rsc2 = if rows_l -. 1.0 > 0.0 then rows_l -. 1.0 else 0.0 in
+  let cpu2 =
+    cpu_l +. cpu_r
+    +. (rsc2 *. cpu_r *. 0.1)
+    +. (rows_l *. rows_r *. model.Cost.cpu_tuple_cost *. 0.25)
+    +. out_cpu
+  in
+  let io2 = io_l +. io_r in
+  let tag =
+    if io2 +. cpu2 < best.(2) then begin
+      best.(0) <- io2;
+      best.(1) <- cpu2;
+      best.(2) <- io2 +. cpu2;
+      2
+    end
+    else tag
+  in
+  (* 3: nested loop, outer = r. *)
+  let rsc3 = if rows_r -. 1.0 > 0.0 then rows_r -. 1.0 else 0.0 in
+  let cpu3 =
+    cpu_r +. cpu_l
+    +. (rsc3 *. cpu_l *. 0.1)
+    +. (rows_r *. rows_l *. model.Cost.cpu_tuple_cost *. 0.25)
+    +. out_cpu
+  in
+  let io3 = io_r +. io_l in
+  let tag =
+    if io3 +. cpu3 < best.(2) then begin
+      best.(0) <- io3;
+      best.(1) <- cpu3;
+      best.(2) <- io3 +. cpu3;
+      3
+    end
+    else tag
+  in
+  (* 4: merge join — each side behind an implicit Sort (Plan.sort,
+     inlined; Float.max 2. likewise). *)
+  let n_l = if rows_l > 2.0 then rows_l else 2.0 in
+  let smem_l = rows_l *. float_of_int (min width_l Plan.sort_width_cap) in
+  let ssp_l =
+    if smem_l <= wm then 1.0 else 1.0 +. log (smem_l /. wm) /. log 2.0
+  in
+  let sio_l = io_l +. ((ssp_l -. 1.0) *. smem_l /. page) in
+  let scpu_l = cpu_l +. (model.Cost.sort_cost *. n_l *. (log n_l /. log 2.)) in
+  let n_r = if rows_r > 2.0 then rows_r else 2.0 in
+  let smem_r = rows_r *. float_of_int (min width_r Plan.sort_width_cap) in
+  let ssp_r =
+    if smem_r <= wm then 1.0 else 1.0 +. log (smem_r /. wm) /. log 2.0
+  in
+  let sio_r = io_r +. ((ssp_r -. 1.0) *. smem_r /. page) in
+  let scpu_r = cpu_r +. (model.Cost.sort_cost *. n_r *. (log n_r /. log 2.)) in
+  let cpu4 =
+    scpu_l +. scpu_r
+    +. ((rows_l +. rows_r) *. model.Cost.cpu_tuple_cost)
+    +. out_cpu
+  in
+  let io4 = sio_l +. sio_r in
+  let tag =
+    if io4 +. cpu4 < best.(2) then begin
+      best.(0) <- io4;
+      best.(1) <- cpu4;
+      best.(2) <- io4 +. cpu4;
+      4
+    end
+    else tag
+  in
+  tag
+
 let cheapest = function
   | [] -> invalid_arg "Rules.cheapest: no alternatives"
   | first :: rest ->

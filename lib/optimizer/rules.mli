@@ -17,6 +17,53 @@ val join_alternatives : Cost.model -> Card.t -> Plan.t -> Plan.t -> Plan.t list
 (** Cheapest element of a nonempty list of alternatives. *)
 val cheapest : Plan.t list -> Plan.t
 
+(** {1 Cost-only evaluation for the flat DP}
+
+    {!Dp}'s cost-search pass never builds [Plan.t] values; it works on
+    flat arrays indexed by {!Relset.t} and identifies the winning
+    physical alternative by an integer tag. The evaluators below mirror
+    the [Plan] constructors' cost arithmetic bit for bit (same terms,
+    same floating-point evaluation order), so reconstructing only the
+    winning tree afterwards yields exactly the plan the list-based
+    search would have chosen. They allocate nothing per call. *)
+
+type tables = {
+  t_rows : float array;
+      (** plan output rows per subset (leaf: filtered base rows) *)
+  t_io : float array;  (** cost_io of the best plan for the subset *)
+  t_cpu : float array;  (** cost_cpu of the best plan for the subset *)
+  t_width : int array;  (** output row width, bytes *)
+}
+
+(** [make_tables n] — all-zero tables for subset indices [0 .. n-1]
+    (pass [Relset.full n_rels + 1]). *)
+val make_tables : int -> tables
+
+(** [cheapest_leaf_into model card i ~best] evaluates the access paths of
+    relation [i] and writes the winner's cost_io / cost_cpu / total to
+    [best.(0..2)] (a caller-provided scratch array, length >= 3).
+    Returns the winning tag: 0 = seq scan, 1 = index scan. Ties go to
+    the earlier alternative, exactly as {!cheapest} over
+    {!leaf_alternatives}. *)
+val cheapest_leaf_into :
+  Cost.model -> Card.t -> int -> best:float array -> int
+
+(** [cheapest_join_into model tb ~s ~l ~r ~best] evaluates the five join
+    alternatives for subset [s] split into [l] (which must hold the
+    lowest relation of [s]) and [r], reading both children's entries and
+    [t_rows.(s)] from [tb]. Writes the winner's cost_io / cost_cpu /
+    total to [best.(0..2)] and returns its tag: 0 = hash build-[l],
+    1 = hash build-[r], 2 = NL outer-[l], 3 = NL outer-[r], 4 = merge —
+    tie-breaking as {!cheapest} over {!join_alternatives}. *)
+val cheapest_join_into :
+  Cost.model ->
+  tables ->
+  s:Relset.t ->
+  l:Relset.t ->
+  r:Relset.t ->
+  best:float array ->
+  int
+
 (** Wrap the final aggregation (cheaper of hash vs stream aggregate) if the
     query has one. *)
 val finalize : Cost.model -> Card.t -> Plan.t -> Plan.t

@@ -40,7 +40,25 @@ type t = {
   template_counts : (string, int) Hashtbl.t;
       (* submissions per template: the popularity order priming follows *)
   mutable primed : int;
+  mutable arenas : Optimizer.Cascades.arena list;
+      (* free pool of memo arenas, one per concurrent compile: compiles
+         suspend at governor gateways, so in-flight searches cannot share
+         storage. Steady state settles at the compile-concurrency
+         high-water mark and every compile reuses grown memo structures *)
 }
+
+let acquire_arena t =
+  match t.arenas with
+  | a :: rest ->
+      t.arenas <- rest;
+      a
+  | [] -> Optimizer.Cascades.create_arena ()
+
+let release_arena t a =
+  (* Eager reset so a parked arena does not pin the plans of the query it
+     just compiled. *)
+  Optimizer.Cascades.reset_arena a;
+  t.arenas <- a :: t.arenas
 
 (* Queries are named "<template>#<serial>"; the breaker keys on the
    template so a poison shape trips without condemning its siblings. *)
@@ -268,6 +286,7 @@ let create ?(trace = Obs.Trace.null) eng cfg cat =
     prime_reps = Hashtbl.create 16;
     template_counts = Hashtbl.create 16;
     primed = 0;
+    arenas = [];
   }
 
 let start t =
@@ -350,14 +369,16 @@ let compile t ?deadline ?watch ~by_watchdog ~gov_shed q =
     }
   in
   let started = Sim.Engine.now t.eng in
+  let arena = acquire_arena t in
   let result =
     Fun.protect
       ~finally:(fun () ->
+        release_arena t arena;
         Metrics.record_compile_peak t.metrics (Qcore.Compile_gov.peak session);
         Qcore.Compile_gov.end_compile session)
       (fun () ->
-        Optimizer.Cascades.optimize ~params:t.cfg.Config.optimizer_params ~env
-          t.cfg.Config.cost_model t.cat q)
+        Optimizer.Cascades.optimize ~params:t.cfg.Config.optimizer_params
+          ~arena ~env t.cfg.Config.cost_model t.cat q)
   in
   match result with
   | Ok r ->

@@ -22,7 +22,9 @@ type t = {
 let create eng =
   {
     eng;
-    completions = Sim.Series.create ~name:"completions" ();
+    (* Experiments complete thousands of queries; start past the doubling
+       ramp. *)
+    completions = Sim.Series.create ~name:"completions" ~capacity:1024 ();
     error_counts = List.map (fun k -> (k, ref 0)) Health.Error.all_codes;
     compile_time = Sim.Stats.Online.create ();
     exec_time = Sim.Stats.Online.create ();
@@ -46,7 +48,9 @@ let record_degraded t = t.degraded <- t.degraded + 1
 
 let watch_memory ?(trace = Obs.Trace.null) t ~interval clerks =
   let series =
-    List.map (fun (name, _) -> (name, Sim.Series.create ~name ())) clerks
+    List.map
+      (fun (name, _) -> (name, Sim.Series.create ~name ~capacity:512 ()))
+      clerks
   in
   t.memory <- t.memory @ series;
   ignore

@@ -69,21 +69,27 @@ let add t x =
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
+let peek_exn t =
+  if t.size = 0 then invalid_arg "Heap.peek_exn: empty";
+  t.data.(0)
+
 let peek t = if t.size = 0 then None else Some t.data.(0)
 
-let pop t =
-  if t.size = 0 then None
-  else begin
-    let top = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
-    (* Drop the reference so the GC can reclaim the popped element. *)
-    t.data.(t.size) <- top;
-    Some top
-  end
+let pop_exn t =
+  if t.size = 0 then invalid_arg "Heap.pop_exn: empty";
+  let top = t.data.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.data.(0) <- t.data.(t.size);
+    sift_down t 0
+  end;
+  (* Park the popped element just past the live region: a generic heap has
+     no dummy element to overwrite the slot with, and the slot is
+     reclaimed by the next [add] anyway. *)
+  t.data.(t.size) <- top;
+  top
+
+let pop t = if t.size = 0 then None else Some (pop_exn t)
 
 let clear t =
   t.data <- [||];

@@ -19,8 +19,16 @@ val add : 'a t -> 'a -> unit
 (** [pop t] removes and returns the smallest element, if any. *)
 val pop : 'a t -> 'a option
 
+(** [pop_exn t] is [pop] without the option box — the non-allocating form
+    for hot loops that already checked {!is_empty}. Raises
+    [Invalid_argument] on an empty heap. *)
+val pop_exn : 'a t -> 'a
+
 (** [peek t] is the smallest element without removing it. *)
 val peek : 'a t -> 'a option
+
+(** Non-allocating {!peek}. Raises [Invalid_argument] on an empty heap. *)
+val peek_exn : 'a t -> 'a
 
 val size : 'a t -> int
 val is_empty : 'a t -> bool

@@ -74,16 +74,18 @@ module Sem = struct
   (* Serve the queue head-of-line: pop dead entries, grant while the head
      fits, stop at the first live waiter that does not. *)
   let rec drain t =
-    match Heap.peek t.waiters with
-    | None -> ()
-    | Some w when not w.alive ->
-        ignore (Heap.pop t.waiters);
+    if not (Heap.is_empty t.waiters) then begin
+      let w = Heap.peek_exn t.waiters in
+      if not w.alive then begin
+        ignore (Heap.pop_exn t.waiters);
         drain t
-    | Some w when t.capacity - t.in_use >= w.n ->
-        ignore (Heap.pop t.waiters);
+      end
+      else if t.capacity - t.in_use >= w.n then begin
+        ignore (Heap.pop_exn t.waiters);
         grant t w;
         drain t
-    | Some _ -> ()
+      end
+    end
 
   let no_live_waiter t =
     (* Dead entries may linger at the head; drain pops them eagerly, so a

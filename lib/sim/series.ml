@@ -5,7 +5,14 @@ type t = {
   mutable size : int;
 }
 
-let create ?(name = "") () = { name; times = [||]; values = [||]; size = 0 }
+let create ?(name = "") ?(capacity = 0) () =
+  let capacity = max 0 capacity in
+  {
+    name;
+    times = Array.make capacity 0.;
+    values = Array.make capacity 0.;
+    size = 0;
+  }
 
 let name t = t.name
 
@@ -70,9 +77,20 @@ let bucket_mean t ~start ~stop ~width =
     sums
 
 let values_between t ~start ~stop =
-  let out = ref [] in
-  for i = t.size - 1 downto 0 do
+  (* Count-then-fill: two passes over unboxed float arrays beat a boxing
+     cons per matching value. *)
+  let n = ref 0 in
+  for i = 0 to t.size - 1 do
     let time = t.times.(i) in
-    if time >= start && time < stop then out := t.values.(i) :: !out
+    if time >= start && time < stop then incr n
   done;
-  Array.of_list !out
+  let out = Array.make !n 0. in
+  let j = ref 0 in
+  for i = 0 to t.size - 1 do
+    let time = t.times.(i) in
+    if time >= start && time < stop then begin
+      out.(!j) <- t.values.(i);
+      incr j
+    end
+  done;
+  out

@@ -8,7 +8,11 @@
 
 type t
 
-val create : ?name:string -> unit -> t
+(** [create ?name ?capacity ()] makes an empty series. [capacity]
+    pre-sizes the backing arrays past the doubling ramp for collectors
+    whose final length is predictable (e.g. a monitor sampling at a fixed
+    interval over a known horizon). *)
+val create : ?name:string -> ?capacity:int -> unit -> t
 val name : t -> string
 
 (** [add t ~time v] appends an observation. Times must be nondecreasing. *)

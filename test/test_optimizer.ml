@@ -697,6 +697,61 @@ let prop_random_star_plans_validate =
       in
       List.for_all (fun p -> Bridge.validate inst q p = Ok ()) plans)
 
+(* ------------------------------------------------------------------ *)
+(* Identity properties for the allocation-lean paths: the flat two-pass
+   DP against the kept reference implementation, and Cascades memo-arena
+   reuse against fresh memos. Both must be observationally equal — same
+   plan, same costs, same counters — on randomized query shapes. *)
+
+let random_cat_query ~star ~n ~salt =
+  if star then begin
+    (* star of n rels = fact + (n-1) dims; Dp.max_rels caps n at 14 *)
+    let dims = max 1 (min (n - 1) (Dp.max_rels - 1)) in
+    let fact_rows = 1_000 + (salt mod 50_000) in
+    let dim_rows = 50 + (salt mod 950) in
+    let cat = star_catalog ~dims ~fact_rows ~dim_rows in
+    (cat, star_query ~dims ~filters:(salt mod (dims + 1)) cat)
+  end
+  else begin
+    let len = max 2 (min n Dp.max_rels) in
+    let rows = 500 + (salt mod 5_000) in
+    let cat = chain_catalog ~len ~rows in
+    (cat, chain_query ~len cat)
+  end
+
+let prop_flat_dp_matches_reference =
+  QCheck.Test.make ~name:"flat dp = reference dp (plan, cost, entries)"
+    ~count:30
+    QCheck.(triple bool (int_range 2 14) (int_range 0 1_000_000))
+    (fun (star, n, salt) ->
+      let cat, q = random_cat_query ~star ~n ~salt in
+      let flat_plan, flat_entries =
+        Dp.optimize_with_stats model (Card.create cat q)
+      in
+      let ref_plan, ref_entries =
+        Dp.optimize_reference_with_stats model (Card.create cat q)
+      in
+      flat_plan = ref_plan && flat_entries = ref_entries)
+
+let prop_arena_reuse_transparent =
+  QCheck.Test.make ~name:"cascades arena reuse = fresh memo" ~count:10
+    QCheck.(pair (int_range 2 8) (int_range 0 1_000_000))
+    (fun (n, salt) ->
+      (* One arena across a mixed sequence of queries, each checked
+         against a fresh-memo run of the same query. *)
+      let arena = Cascades.create_arena () in
+      let ok = ref true in
+      for i = 0 to 3 do
+        let star = (salt + i) mod 2 = 0 in
+        let cat, q =
+          random_cat_query ~star ~n:(2 + ((n + i) mod 7)) ~salt:(salt + (7919 * i))
+        in
+        let reused = Cascades.optimize ~arena ~env:Env.null model cat q in
+        let fresh = Cascades.optimize ~env:Env.null model cat q in
+        if reused <> fresh then ok := false
+      done;
+      !ok)
+
 let suite =
   [
     ("relset basics", `Quick, test_relset_basics);
@@ -732,4 +787,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_iter_of_cardinality_matches_bruteforce;
     QCheck_alcotest.to_alcotest prop_connected_subsets_match_bruteforce;
     QCheck_alcotest.to_alcotest prop_random_star_plans_validate;
+    QCheck_alcotest.to_alcotest prop_flat_dp_matches_reference;
+    QCheck_alcotest.to_alcotest prop_arena_reuse_transparent;
   ]

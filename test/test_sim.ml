@@ -62,6 +62,29 @@ let prop_heap_sorts =
       in
       drain [] = List.sort compare xs)
 
+let test_heap_exn_variants () =
+  (* The non-allocating forms agree with the option ones and reject an
+     empty heap instead of returning a sentinel. *)
+  let h = Heap.create ~cmp:compare () in
+  Alcotest.(check bool) "peek_exn empty raises" true
+    (try
+       ignore (Heap.peek_exn h);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "pop_exn empty raises" true
+    (try
+       ignore (Heap.pop_exn h);
+       false
+     with Invalid_argument _ -> true);
+  List.iter (Heap.add h) [ 4; 2; 9; 2 ];
+  Alcotest.(check int) "peek_exn = min" 2 (Heap.peek_exn h);
+  Alcotest.(check int) "peek_exn leaves size" 4 (Heap.size h);
+  let rec drain acc =
+    if Heap.is_empty h then List.rev acc else drain (Heap.pop_exn h :: acc)
+  in
+  Alcotest.(check (list int)) "pop_exn drains sorted" [ 2; 2; 4; 9 ] (drain []);
+  Alcotest.(check bool) "empty again" true (Heap.is_empty h)
+
 (* ------------------------------------------------------------------ *)
 (* Rng *)
 
@@ -719,6 +742,7 @@ let suite =
     ("heap peek", `Quick, test_heap_peek_does_not_remove);
     ("heap clear", `Quick, test_heap_clear);
     ("heap capacity hint", `Quick, test_heap_capacity);
+    ("heap exn variants", `Quick, test_heap_exn_variants);
     ("rng deterministic", `Quick, test_rng_deterministic);
     ("rng seeds differ", `Quick, test_rng_different_seeds);
     ("rng split independent", `Quick, test_rng_split_independent);
